@@ -1,0 +1,75 @@
+"""Benchmarks: sensitivity sweeps for open design parameters.
+
+These answer questions the paper raises but does not quantify: how much
+URLLC bandwidth the gains need, how sensitive DChannel is to its reward
+hysteresis, and how fast the fast channel must be.
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    run_decode_wait_sweep,
+    run_threshold_sweep,
+    run_urllc_bandwidth_sweep,
+    run_urllc_rtt_sweep,
+)
+
+PAGES = 8
+
+
+def test_bench_urllc_bandwidth_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_urllc_bandwidth_sweep(page_count=PAGES), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # More URLLC bandwidth monotonically helps, and even 8 Mbps has not
+    # saturated the gains — with background flows competing for it, the
+    # paper's 2 Mbps URLLC is genuinely scarce, which is why arbitration
+    # (flow priorities) matters so much in Table 1.
+    plt = result.values
+    rates = ["0.5", "1.0", "2.0", "4.0", "8.0"]
+    for worse, better in zip(rates, rates[1:]):
+        assert plt[better] <= plt[worse] * 1.02, (worse, better, plt)
+    assert plt["8.0"] < 0.85 * plt["0.5"]
+
+
+def test_bench_threshold_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_threshold_sweep(page_count=PAGES), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # DChannel is robust to its hysteresis: across 0–30 ms the PLT spread
+    # stays within 25 % of the best setting (a moderate threshold even
+    # helps slightly by damping channel flapping).
+    values = list(result.values.values())
+    assert max(values) < 1.25 * min(values), values
+
+
+def test_bench_decode_wait_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_decode_wait_sweep(duration=30.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # §3.3's claim, both directions: no wait → lowest latency but
+    # base-layer-dominated quality; waiting buys quality at latency cost,
+    # saturating once the two-frame lookahead caps the effective wait.
+    assert result.values["0.0:p95_ms"] < result.values["60.0:p95_ms"]
+    assert result.values["0.0:ssim"] < result.values["60.0:ssim"]
+    assert result.values["500.0:ssim"] >= result.values["60.0:ssim"]
+    assert result.values["500.0:p95_ms"] == pytest.approx(
+        result.values["200.0:p95_ms"], rel=0.05
+    )
+
+
+def test_bench_urllc_rtt_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_urllc_rtt_sweep(page_count=PAGES), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # A 2 ms channel beats a 30 ms channel (which is barely faster than
+    # eMBB's base RTT and earns almost no steering budget).
+    assert result.values["2.0"] < result.values["30.0"]

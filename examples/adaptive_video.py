@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Sender adaptation vs cross-layer steering for real-time video.
+
+Two ways to survive a channel that cannot carry the full SVC ladder:
+
+* **adapt at the source** — drop top layers when receiver feedback reports
+  lateness (Octopus-style; works even with a single channel);
+* **steer across channels** — keep the full ladder and pin layer 0 to
+  URLLC (Fig. 2's cross-layer policy; needs an HVC pair).
+
+This example runs both (and their combination) over a squeezed eMBB link
+and reports the latency/quality trade each makes.
+
+Run:  python examples/adaptive_video.py
+"""
+
+from repro.apps.video.adaptive import (
+    AdaptiveVideoSender,
+    FeedbackReporter,
+    attach_feedback_channel,
+)
+from repro.apps.video.quality import SsimModel
+from repro.apps.video.receiver import VideoReceiver
+from repro.apps.video.sender import VideoSender
+from repro.apps.video.svc import SvcEncoderModel
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+from repro.units import mbps, ms, to_ms
+
+DURATION = 20.0
+#: eMBB squeezed below the 12 Mbps ladder.
+EMBB_RATE = mbps(8)
+
+
+def run(label, steering, adaptive):
+    channels = [fixed_embb_spec(rate_bps=EMBB_RATE, rtt=ms(40))]
+    if steering != "single":
+        channels.append(urllc_spec())
+    net = HvcNetwork(channels, steering=steering)
+    encoder = SvcEncoderModel()
+    media = net.open_datagram()
+    receiver = VideoReceiver(net.sim, media.server, encoder)
+    if adaptive:
+        sender = AdaptiveVideoSender(net.sim, media.client, encoder, duration=DURATION)
+        feedback = net.open_datagram()
+        FeedbackReporter(net.sim, receiver, feedback.server)
+        attach_feedback_channel(sender, feedback.client)
+    else:
+        sender = VideoSender(net.sim, media.client, encoder, duration=DURATION)
+    net.run(until=DURATION + 2.0)
+
+    ssim_model = SsimModel()
+    decoded = [f for f in receiver.frames if f.decoded]
+    latencies = sorted(f.latency for f in decoded)
+    ssim = sum(ssim_model.ssim(f.frame_index, f.decoded_layer) for f in decoded) / len(decoded)
+    p95 = latencies[int(len(latencies) * 0.95)]
+    print(f"{label:22s} p95 latency {to_ms(p95):7.1f} ms | mean SSIM {ssim:.3f} "
+          f"| frames {len(decoded)}")
+
+
+def main() -> None:
+    print(f"{DURATION:.0f} s of 12 Mbps SVC video over an {EMBB_RATE / 1e6:.0f} Mbps "
+          "eMBB link (optionally + URLLC)\n")
+    run("no defense", "single", adaptive=False)
+    run("sender adaptation", "single", adaptive=True)
+    run("priority steering", "priority", adaptive=False)
+    run("both", "priority", adaptive=True)
+    print("\nadaptation sacrifices quality to restore timeliness on one "
+          "channel; steering keeps the base layer timely without touching "
+          "the ladder; combined, the two defenses stack.")
+
+
+if __name__ == "__main__":
+    main()

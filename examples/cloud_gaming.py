@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Cloud gaming over a degrading 5G link (the paper's motivating workload).
+
+A 60 Hz input→render→frame loop (30 Mbps stream) runs over trace-driven 5G
+Lowband eMBB while driving, paired with URLLC. Compares steering policies
+on motion-to-photon latency and the fraction of frames inside the 100 ms
+cloud-gaming deadline.
+
+Run:  python examples/cloud_gaming.py
+"""
+
+from repro.apps.xr import CLOUD_GAMING_DEADLINE, run_xr_session
+from repro.core.api import HvcNetwork
+from repro.net.hvc import traced_embb_spec, urllc_spec
+from repro.steering.single import SingleChannelSteerer
+from repro.traces.catalog import get_trace
+from repro.units import to_ms
+
+DURATION = 15.0
+
+
+def build(steering):
+    trace = get_trace("5g-lowband-driving", seed=5)
+    embb = traced_embb_spec(trace)
+    embb.name = "embb"
+    return HvcNetwork([embb, urllc_spec()], steering=steering, seed=1)
+
+
+def main() -> None:
+    print(f"{DURATION:.0f} s of 60 Hz cloud gaming (30 Mbps) over 5G Lowband "
+          f"(driving) + URLLC; deadline {to_ms(CLOUD_GAMING_DEADLINE):.0f} ms\n")
+    policies = {
+        "embb-only": SingleChannelSteerer(channel_name="embb"),
+        "dchannel": "dchannel",
+        "transport-aware": "transport-aware",
+    }
+    for label, steering in policies.items():
+        result = run_xr_session(build(steering), duration=DURATION)
+        cdf = result.latency_cdf()
+        print(f"{label:16s} p50 {to_ms(cdf.median):6.1f} ms | "
+              f"p95 {to_ms(cdf.percentile(95)):7.1f} ms | "
+              f"on-time {100 * result.on_time_fraction:5.1f}%")
+    print("\ninputs and frame tails ride URLLC under the steered policies, "
+          "keeping the loop inside its deadline through eMBB latency spikes.")
+
+
+if __name__ == "__main__":
+    main()

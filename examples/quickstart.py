@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: two HVCs, one flow, three steering policies.
+
+Builds the paper's canonical channel pair — eMBB (60 Mbps, 50 ms RTT) and
+URLLC (2 Mbps, 5 ms RTT) — then sends the same 500 kB message under three
+steering policies and reports completion time and channel usage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HvcNetwork, units
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+
+
+def transfer_once(steering: str) -> None:
+    net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering=steering)
+
+    completed = {}
+    pair = net.open_connection(
+        cc="cubic",
+        on_server_message=lambda receipt: completed.update(at=receipt.completed_at),
+    )
+    pair.client.send_message(units.kb(500), message_id=1)
+    net.run(until=30.0)
+
+    embb, urllc = net.channels
+    print(f"policy={steering:12s} done at {completed['at'] * 1e3:8.1f} ms "
+          f"| eMBB pkts={embb.uplink.stats.delivered + embb.downlink.stats.delivered:4d} "
+          f"| URLLC pkts={urllc.uplink.stats.delivered + urllc.downlink.stats.delivered:4d}")
+
+
+def main() -> None:
+    print("500 kB transfer over eMBB (60 Mbps / 50 ms) + URLLC (2 Mbps / 5 ms)\n")
+    for steering in ("single", "dchannel", "transport-aware"):
+        transfer_once(steering)
+    print("\n'single' uses eMBB alone; the steered policies accelerate the "
+          "handshake, ACKs and message tail over URLLC.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Real-time SVC video over a degrading 5G link (the Fig. 2 scenario).
+
+Streams 20 seconds of 3-layer SVC video (0.4/4.1/7.5 Mbps at 30 fps) over
+a trace-driven mmWave channel that suffers blockage outages while driving,
+paired with URLLC. Compares eMBB-only, DChannel, and cross-layer priority
+steering on frame latency and quality.
+
+Run:  python examples/realtime_video.py
+"""
+
+from repro.experiments.fig2 import run_fig2_cell
+from repro.units import to_ms
+
+DURATION = 20.0
+
+
+def main() -> None:
+    print(f"{DURATION:.0f} s of SVC video over 5G mmWave (driving) + URLLC\n")
+    print(f"{'scheme':12s} {'p50 lat':>9s} {'p95 lat':>9s} {'max lat':>9s} "
+          f"{'mean SSIM':>10s} {'frames':>7s}")
+    for scheme in ("embb-only", "dchannel", "priority"):
+        cell = run_fig2_cell("5g-mmwave-driving", scheme, duration=DURATION)
+        latency = cell.latency_cdf()
+        ssim = cell.ssim_cdf()
+        print(f"{scheme:12s} {to_ms(latency.median):8.1f}ms "
+              f"{to_ms(latency.percentile(95)):8.1f}ms "
+              f"{to_ms(latency.max):8.1f}ms "
+              f"{ssim.mean:10.3f} {len(cell.frames):7d}")
+    print("\npriority steering pins the base layer (layer 0) to URLLC: frames "
+          "stay timely through blockages at a small quality cost.")
+
+
+if __name__ == "__main__":
+    main()

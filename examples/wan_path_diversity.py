@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""WAN path diversity as HVCs (§2.3: SCION / cISP / LEO).
+
+A SCION-like host learns three WAN paths with very different properties —
+terrestrial fiber (wide, 40 ms), a LEO constellation (lower latency,
+narrower, lossy), and a cISP microwave path (8 ms, narrow, billed per
+byte) — and treats them as heterogeneous virtual channels. The same RPC
+workload runs under single-path pins and under transport-aware steering
+across all three.
+
+Run:  python examples/wan_path_diversity.py
+"""
+
+from repro.core.api import HvcNetwork
+from repro.core.metrics import Cdf
+from repro.net.hvc import cisp_spec, fiber_wan_spec, leo_spec
+from repro.steering.single import SingleChannelSteerer
+from repro.transport import next_flow_id
+from repro.transport.connection import Connection
+from repro.units import kb, to_ms
+
+RPC_COUNT = 60
+
+
+def run(label, steering):
+    net = HvcNetwork(
+        [fiber_wan_spec(), leo_spec(), cisp_spec()], steering=steering, seed=11
+    )
+    # A concurrent bulk transfer contends for the paths: steering must keep
+    # it on fiber while the RPCs get cISP.
+    from repro.apps.bulk import BulkTransfer
+
+    bulk = BulkTransfer(net, cc="cubic")
+    latencies = []
+    state = {"started": 0.0}
+    flow = next_flow_id()
+
+    def on_reply(receipt):
+        latencies.append(net.now - state["started"])
+        issue()
+
+    client = Connection(net.sim, net.client, flow, cc="cubic", on_message=on_reply)
+
+    def on_request(receipt):
+        server.send_message(kb(8), message_id=receipt.message_id + 10_000)
+
+    server = Connection(net.sim, net.server, flow, cc="cubic", on_message=on_request)
+
+    def issue():
+        if len(latencies) >= RPC_COUNT:
+            return
+        state["started"] = net.now
+        client.send_message(400, message_id=len(latencies))
+
+    issue()
+    while len(latencies) < RPC_COUNT and net.sim.pending_events and net.now < 120:
+        net.run(until=net.now + 1.0)
+    cdf = Cdf(latencies)
+    cost = net.total_cost()
+    from repro.units import to_mbps
+
+    bulk_mbps = to_mbps(bulk.mean_throughput_bps(start=1.0, end=net.now))
+    print(f"{label:18s} rpc p50 {to_ms(cdf.median):6.1f} ms | "
+          f"p95 {to_ms(cdf.percentile(95)):7.1f} ms | "
+          f"bulk {bulk_mbps:6.1f} Mbps | spend ${cost:.4f}")
+
+
+def main() -> None:
+    print(f"{RPC_COUNT} RPCs (400 B request / 8 kB reply) + a bulk flow over "
+          "three WAN paths:\n"
+          "  fiber 200 Mbps/40 ms · LEO 50 Mbps/25 ms (1% loss) · "
+          "cISP 10 Mbps/8 ms ($/byte)\n")
+    run("fiber only", SingleChannelSteerer(channel_name="fiber-wan"))
+    run("leo only", SingleChannelSteerer(channel_name="leo"))
+    run("cisp only", SingleChannelSteerer(channel_name="cisp"))
+    run("steered (all 3)", "transport-aware")
+    print("\npath-aware steering gets cISP's latency for the small packets "
+          "that matter, fiber's bandwidth for the rest, and shrugs off "
+          "LEO's loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Wi-Fi 7 MLO: trading bandwidth for reliability by replication (§2.2).
+
+Two Wi-Fi links on different bands, each with bursty (Gilbert–Elliott)
+loss. A datagram stream is sent three ways: pinned to one link, sprayed by
+minRTT, and replicated across both links. Replication halves usable
+bandwidth but survives either link fading.
+
+Run:  python examples/wifi_mlo_reliability.py
+"""
+
+from repro.core.api import HvcNetwork
+from repro.net.hvc import wifi_mlo_specs
+from repro.sim.timers import PeriodicTimer
+from repro.steering.redundant import RedundantSteerer
+from repro.steering.single import SingleChannelSteerer
+from repro.units import kb, to_mbps
+
+DURATION = 15.0
+MESSAGE_BYTES = kb(10)
+SEND_INTERVAL = 0.005  # 16 Mbps offered
+
+
+def run(label, steering) -> None:
+    net = HvcNetwork(list(wifi_mlo_specs()), steering=steering, seed=7)
+    received = []
+    pair = net.open_datagram(on_server_message=received.append)
+    state = {"sent": 0}
+
+    def send() -> None:
+        pair.client.send_message(MESSAGE_BYTES, message_id=state["sent"])
+        state["sent"] += 1
+
+    timer = PeriodicTimer(net.sim, SEND_INTERVAL, send, start_delay=0.0)
+    net.run(until=DURATION)
+    timer.stop()
+    net.run(until=DURATION + 1.0)
+
+    delivered = len(received) / max(state["sent"], 1)
+    goodput = to_mbps(len(received) * MESSAGE_BYTES * 8 / DURATION)
+    print(f"{label:18s} delivered {100 * delivered:5.1f}%  goodput {goodput:6.1f} Mbps")
+
+
+def main() -> None:
+    print("10 kB messages at 16 Mbps over two bursty-loss Wi-Fi MLO links\n")
+    run("single-link", SingleChannelSteerer(index=0))
+    run("spray (min-rtt)", "min-rtt")
+    run("replicate", RedundantSteerer(mode="all"))
+    print("\nreplication sacrifices bandwidth headroom for delivery "
+          "reliability — the MLO trade-off the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

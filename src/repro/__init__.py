@@ -1,0 +1,34 @@
+"""hvc-repro: heterogeneous virtual channels, reproduced in simulation.
+
+A from-scratch Python implementation of the systems behind *"Boosting
+Application Performance using Heterogeneous Virtual Channels: Challenges
+and Opportunities"* (HotNets 2023): a deterministic network simulator with
+trace-driven 5G channels, a message-aware reliable transport with pluggable
+congestion control (CUBIC/BBR/Vegas/Vivace + an HVC-aware variant), the
+DChannel packet-steering heuristic and its cross-layer extensions, and the
+paper's three workloads (bulk transfer, SVC real-time video, web browsing).
+
+Entry points:
+
+* :class:`repro.HvcNetwork` — build a client/server pair over channels.
+* :mod:`repro.net.hvc` — ready-made channel profiles (eMBB, URLLC, MLO…).
+* :mod:`repro.steering` — steering policies by name.
+* :mod:`repro.experiments` — the paper's figures/tables as functions.
+"""
+
+from repro._version import __version__
+from repro.core.api import HvcNetwork
+from repro.core.metrics import Cdf, percentile, throughput_series
+from repro.core.results import ExperimentResult, Table
+from repro import units
+
+__all__ = [
+    "__version__",
+    "HvcNetwork",
+    "Cdf",
+    "percentile",
+    "throughput_series",
+    "ExperimentResult",
+    "Table",
+    "units",
+]

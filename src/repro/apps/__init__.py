@@ -1,0 +1,10 @@
+"""Applications used by the paper's experiments.
+
+* :mod:`repro.apps.bulk` — long-lived bulk transfer (Fig. 1 workload).
+* :mod:`repro.apps.video` — real-time SVC video streaming (Fig. 2).
+* :mod:`repro.apps.web` — web page loading with background flows (Table 1).
+"""
+
+from repro.apps.bulk import BulkTransfer
+
+__all__ = ["BulkTransfer"]

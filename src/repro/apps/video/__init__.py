@@ -1,0 +1,26 @@
+"""Real-time SVC video streaming (the Fig. 2 application).
+
+Pipeline: :class:`~repro.apps.video.svc.SvcEncoderModel` produces per-frame
+layer sizes → :class:`~repro.apps.video.sender.VideoSender` ships each layer
+as a tagged datagram message every frame interval →
+:class:`~repro.apps.video.receiver.VideoReceiver` applies the paper's 60 ms
+decode-wait rule and SVC dependency rules →
+:class:`~repro.apps.video.quality.SsimModel` scores decoded layers.
+"""
+
+from repro.apps.video.svc import SvcEncoderModel, LayerSpec
+from repro.apps.video.sender import VideoSender
+from repro.apps.video.receiver import VideoReceiver, DecodedFrame
+from repro.apps.video.quality import SsimModel
+from repro.apps.video.session import VideoSession, run_video_session
+
+__all__ = [
+    "SvcEncoderModel",
+    "LayerSpec",
+    "VideoSender",
+    "VideoReceiver",
+    "DecodedFrame",
+    "SsimModel",
+    "VideoSession",
+    "run_video_session",
+]

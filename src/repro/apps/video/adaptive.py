@@ -1,0 +1,163 @@
+"""Sender-side layer adaptation driven by receiver feedback.
+
+The paper's video setup (adapted from Octopus [Chen et al., SEC '23]) keeps
+the encoder ladder fixed and lets *steering* decide which layers survive
+network deterioration. The orthogonal lever is sender adaptation: drop the
+top SVC layers at the source when the receiver reports lateness, and
+restore them when things recover.
+
+This module implements that loop so the two approaches can be compared
+(and combined) in the adaptation example/tests:
+
+* the receiver sends a tiny feedback datagram every ``feedback_interval``
+  with the fraction of recently decoded frames that arrived "on time";
+* the sender drops its top active layer when on-time dips below
+  ``drop_threshold`` and restores one layer after ``restore_after`` seconds
+  of clean reports.
+
+Feedback rides the same channel set as the media (tagged priority 0 — it
+is tiny and latency-critical, exactly what URLLC is for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.video.receiver import VideoReceiver
+from repro.apps.video.sender import VideoSender, message_id_for
+from repro.apps.video.svc import SvcEncoderModel
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.transport.datagram import DatagramSocket
+from repro.units import ms
+
+FEEDBACK_INTERVAL = 0.5
+#: Frames decoded within this bound count as on time.
+ON_TIME_BOUND = ms(120)
+DROP_THRESHOLD = 0.85
+RESTORE_AFTER = 3.0
+#: Feedback messages use ids far above any frame's.
+FEEDBACK_ID_BASE = 3_000_000_000
+
+
+class AdaptiveVideoSender(VideoSender):
+    """A VideoSender that drops/restores top layers on receiver feedback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket: DatagramSocket,
+        encoder: SvcEncoderModel,
+        duration: Optional[float] = None,
+        drop_threshold: float = DROP_THRESHOLD,
+        restore_after: float = RESTORE_AFTER,
+    ) -> None:
+        super().__init__(sim, socket, encoder, duration=duration)
+        self.drop_threshold = drop_threshold
+        self.restore_after = restore_after
+        self.active_layers = len(encoder.layers)
+        self._clean_since: Optional[float] = None
+        self._last_restore_at: Optional[float] = None
+        self._restore_backoff = restore_after
+        #: (time, active_layers) decisions, for analysis.
+        self.adaptation_log: List[tuple] = [(0.0, self.active_layers)]
+
+    def _send_frame(self) -> None:
+        if self.duration is not None and self.sim.now >= self.duration:
+            self._timer.stop()
+            return
+        frame = self.frames_sent
+        self.frame_send_times[frame] = self.sim.now
+        sizes = self.encoder.frame_layer_sizes(frame)
+        for layer_index, size in enumerate(sizes[: self.active_layers]):
+            self.socket.send_message(
+                size,
+                message_id=message_id_for(frame, layer_index),
+                priority=layer_index,
+            )
+        self.frames_sent += 1
+
+    def on_feedback(self, on_time_fraction: float) -> None:
+        """Consume one receiver report and adapt the ladder.
+
+        Restores back off exponentially when a probe fails (a drop soon
+        after a restore), so the sender does not oscillate against a
+        channel that cannot carry the next rung.
+        """
+        now = self.sim.now
+        if on_time_fraction < self.drop_threshold:
+            self._clean_since = None
+            if self.active_layers > 1:
+                self.active_layers -= 1
+                self.adaptation_log.append((now, self.active_layers))
+                if (
+                    self._last_restore_at is not None
+                    and now - self._last_restore_at < 2 * self.restore_after
+                ):
+                    self._restore_backoff = min(self._restore_backoff * 2.0, 60.0)
+                else:
+                    self._restore_backoff = self.restore_after
+            return
+        if self.active_layers < len(self.encoder.layers):
+            if self._clean_since is None:
+                self._clean_since = now
+            elif now - self._clean_since >= self._restore_backoff:
+                self.active_layers += 1
+                self.adaptation_log.append((now, self.active_layers))
+                self._clean_since = now
+                self._last_restore_at = now
+
+
+class FeedbackReporter:
+    """Receiver-side: periodically report on-time fraction to the sender."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        receiver: VideoReceiver,
+        socket: DatagramSocket,
+        interval: float = FEEDBACK_INTERVAL,
+        on_time_bound: float = ON_TIME_BOUND,
+    ) -> None:
+        self.sim = sim
+        self.receiver = receiver
+        self.socket = socket
+        self.on_time_bound = on_time_bound
+        self._reported_through = 0
+        self._sequence = 0
+        self._timer = PeriodicTimer(sim, interval, self._report)
+
+    def _report(self) -> None:
+        frames = self.receiver.frames[self._reported_through:]
+        self._reported_through = len(self.receiver.frames)
+        if not frames:
+            return
+        on_time = sum(
+            1 for f in frames if f.decoded and f.latency <= self.on_time_bound
+        )
+        fraction = on_time / len(frames)
+        # The fraction is quantized into the message size (a real impl
+        # would put it in the payload): size = 100 + percent.
+        self.socket.send_message(
+            100 + int(round(fraction * 100)),
+            message_id=FEEDBACK_ID_BASE + self._sequence,
+            priority=0,
+        )
+        self._sequence += 1
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+
+def attach_feedback_channel(
+    sender: AdaptiveVideoSender, sender_side_socket: DatagramSocket
+) -> None:
+    """Wire the sender's socket to decode feedback messages."""
+
+    def on_message(message) -> None:
+        if message.message_id >= FEEDBACK_ID_BASE and message.total_bytes:
+            fraction = max(0, min(100, message.total_bytes - 100)) / 100.0
+            sender.on_feedback(fraction)
+
+    sender_side_socket.on_message = on_message

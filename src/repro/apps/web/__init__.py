@@ -1,0 +1,27 @@
+"""Web page loading over HVCs (the Table 1 application).
+
+* :mod:`repro.apps.web.page` — page model: objects with sizes and a
+  dependency DAG (HTML → CSS/JS → images/XHR).
+* :mod:`repro.apps.web.corpus` — synthetic Hispar-like page corpus.
+* :mod:`repro.apps.web.browser` — HTTP/2-style loader (one multiplexed
+  connection, dependency-driven requests) + server; computes PLT (onLoad).
+* :mod:`repro.apps.web.background` — the low-value JSON upload/download
+  loops that compete for URLLC in Table 1.
+"""
+
+from repro.apps.web.page import WebObject, WebPage
+from repro.apps.web.corpus import generate_corpus, generate_page
+from repro.apps.web.browser import Browser, PageLoadResult, WebServer, load_page
+from repro.apps.web.background import BackgroundFlows
+
+__all__ = [
+    "WebObject",
+    "WebPage",
+    "generate_corpus",
+    "generate_page",
+    "Browser",
+    "WebServer",
+    "PageLoadResult",
+    "load_page",
+    "BackgroundFlows",
+]

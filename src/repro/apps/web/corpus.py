@@ -1,0 +1,90 @@
+"""Synthetic page corpus standing in for the paper's Hispar sample.
+
+The paper replays 30 landing and internal pages from the Hispar corpus.
+We generate pages whose aggregate statistics follow published web
+measurements (HTTP Archive / the Hispar paper's own characterization):
+
+* tens of objects per page (log-normal, medians ~25 landing / ~15 internal);
+* heavy-tailed object sizes (log-normal, median ~10 kB, occasional 100s kB);
+* a discovery DAG 2–4 levels deep (HTML → CSS/JS → fonts/images/XHR),
+  which is what makes page loads latency-bound rather than bandwidth-bound.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps.web.page import WebObject, WebPage
+from repro.errors import ScenarioError
+from repro.units import kb
+
+#: Root HTML size distribution (log-normal around ~52 kB).
+HTML_MEDIAN_BYTES = 52_000
+HTML_SIGMA = 0.5
+#: Subresource size distribution.
+OBJECT_MEDIAN_BYTES = 14_000
+OBJECT_SIGMA = 1.15
+OBJECT_MAX_BYTES = 800_000
+#: Object-count distribution (HTTP Archive medians: ~70 requests/page;
+#: we model the same-origin subset a single connection serves).
+LANDING_MEDIAN_OBJECTS = 42
+INTERNAL_MEDIAN_OBJECTS = 26
+COUNT_SIGMA = 0.45
+MAX_OBJECTS = 150
+
+
+def _lognormal_int(rng: random.Random, median: float, sigma: float, lo: int, hi: int) -> int:
+    value = int(round(rng.lognormvariate(0.0, sigma) * median))
+    return max(lo, min(hi, value))
+
+
+def generate_page(name: str, seed: int, landing: bool = True) -> WebPage:
+    """Generate one synthetic page, deterministically from ``seed``."""
+    rng = random.Random(f"page:{seed}")
+    median_objects = LANDING_MEDIAN_OBJECTS if landing else INTERNAL_MEDIAN_OBJECTS
+    count = _lognormal_int(rng, median_objects, COUNT_SIGMA, 4, MAX_OBJECTS)
+
+    objects: List[WebObject] = [
+        WebObject(0, _lognormal_int(rng, HTML_MEDIAN_BYTES, HTML_SIGMA, 5_000, 300_000))
+    ]
+    # First discovery wave: CSS/JS referenced by the HTML (~25% of objects).
+    wave1_count = max(1, int(count * 0.25))
+    for i in range(1, wave1_count + 1):
+        size = _lognormal_int(rng, OBJECT_MEDIAN_BYTES, OBJECT_SIGMA, 400, OBJECT_MAX_BYTES)
+        objects.append(WebObject(i, size, depends_on=[0]))
+    # Later waves: resources discovered by scripts/styles; a healthy share
+    # chains onto recently discovered objects, so landing pages develop the
+    # 5-8-level critical paths real page loads show.
+    while len(objects) < count:
+        object_id = len(objects)
+        size = _lognormal_int(rng, OBJECT_MEDIAN_BYTES, OBJECT_SIGMA, 400, OBJECT_MAX_BYTES)
+        roll = rng.random()
+        if roll < 0.6 or object_id <= wave1_count + 1:
+            parent = rng.randint(1, wave1_count)
+        elif roll < 0.85:
+            parent = rng.randint(wave1_count + 1, object_id - 1)
+        else:
+            # Chain onto one of the most recent discoveries (deep path).
+            parent = rng.randint(max(1, object_id - 5), object_id - 1)
+        objects.append(WebObject(object_id, size, depends_on=[parent]))
+
+    page = WebPage(name=name, objects=objects)
+    page.validate()
+    return page
+
+
+def generate_corpus(count: int = 30, seed: int = 0) -> List[WebPage]:
+    """Generate the experiment corpus: half landing, half internal pages."""
+    if count <= 0:
+        raise ScenarioError(f"corpus count must be positive, got {count}")
+    pages = []
+    for i in range(count):
+        landing = i % 2 == 0
+        kind = "landing" if landing else "internal"
+        pages.append(
+            generate_page(f"page-{i:02d}-{kind}", seed=seed * 1000 + i, landing=landing)
+        )
+    return pages

@@ -1,0 +1,62 @@
+"""HAR-style export of page load results.
+
+The paper measures PLT via the ``onLoad`` event as defined by the HAR 1.2
+spec [Odvarko]. This module renders a :class:`PageLoadResult` into the
+same structure (the subset a simulator can know), so loads can be inspected
+with standard HAR tooling or diffed across steering policies.
+
+Times are in milliseconds relative to the load start, as HAR prescribes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.apps.web.browser import PageLoadResult
+from repro.units import to_ms
+
+
+def to_har(result: PageLoadResult, title: str = "") -> Dict:
+    """Render one completed page load as a HAR-shaped dict."""
+    if not result.complete:
+        raise ValueError(f"page {result.page.name!r} did not finish; no HAR")
+    page_id = result.page.name
+    entries = []
+    for obj in result.page.objects:
+        finished = result.object_finish_times[obj.object_id]
+        entries.append(
+            {
+                "pageref": page_id,
+                "startedDateTime": to_ms(result.started_at),
+                "time": to_ms(finished - result.started_at),
+                "request": {
+                    "method": "GET",
+                    "url": f"https://{page_id}/obj/{obj.object_id}",
+                },
+                "response": {
+                    "status": 200,
+                    "bodySize": obj.size_bytes,
+                },
+                "_dependsOn": list(obj.depends_on),
+            }
+        )
+    return {
+        "log": {
+            "version": "1.2",
+            "creator": {"name": "hvc-repro", "version": "1.0"},
+            "pages": [
+                {
+                    "id": page_id,
+                    "title": title or page_id,
+                    "pageTimings": {"onLoad": to_ms(result.plt)},
+                }
+            ],
+            "entries": entries,
+        }
+    }
+
+
+def to_har_json(result: PageLoadResult, title: str = "") -> str:
+    """The HAR as a JSON string (pretty-printed)."""
+    return json.dumps(to_har(result, title=title), indent=2, sort_keys=True)

@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Examples::
+
+    python -m repro fig1a
+    python -m repro fig2 --duration 30
+    python -m repro table1 --pages 10
+    python -m repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures/tables and ablations.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override run duration in seconds (fig1a/fig1b/fig2/ab-cc/ab-mlo)",
+    )
+    parser.add_argument(
+        "--pages", type=int, default=None, help="corpus size for table1"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short runs (smoke-test scale, not paper scale)",
+    )
+    return parser
+
+
+def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    duration = args.duration
+    if args.quick and duration is None:
+        duration = 10.0
+    if duration is not None and name in (
+        "fig1a", "fig1b", "fig2", "ab-cc", "ab-mlo", "ab-mp", "ab-reseq"
+    ):
+        kwargs["duration"] = duration
+    if name in ("table1", "baselines", "sweep-urllc-bw", "sweep-threshold", "sweep-urllc-rtt"):
+        if args.pages is not None:
+            kwargs["page_count"] = args.pages
+        elif args.quick:
+            kwargs["page_count"] = 4 if name == "table1" else 3
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        result = runner(**_kwargs_for(name, args))
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Declarative scenario descriptions (JSON-friendly) → live networks.
+
+A scenario names its channels, steering policy and seed in plain data, so
+experiment configurations can be stored, diffed and swept::
+
+    spec = ScenarioSpec(
+        channels=[
+            ChannelConfig(kind="embb", trace="5g-lowband-driving"),
+            ChannelConfig(kind="urllc"),
+        ],
+        steering="dchannel+flowprio",
+        seed=7,
+    )
+    net = spec.build()
+
+``ScenarioSpec.from_dict`` accepts the same structure as parsed JSON, which
+is what ``python -m repro``'s future scenario runner and user configs use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.api import HvcNetwork
+from repro.errors import ScenarioError
+from repro.net.channel import ChannelSpec
+from repro.net.hvc import (
+    cisp_spec,
+    fiber_wan_spec,
+    fixed_embb_spec,
+    leo_spec,
+    traced_embb_spec,
+    urllc_spec,
+    wifi_mlo_specs,
+)
+from repro.traces.catalog import get_trace
+from repro.units import mbps, ms
+
+#: Channel kinds a scenario may name. "wifi-mlo" expands into two channels.
+CHANNEL_KINDS = (
+    "embb",
+    "urllc",
+    "cisp",
+    "fiber-wan",
+    "leo",
+    "wifi-mlo",
+    "custom",
+)
+
+
+@dataclass
+class ChannelConfig:
+    """One channel (or channel pair, for wifi-mlo) in a scenario."""
+
+    kind: str
+    #: Trace name from the catalog ("5g-lowband-driving", ...); embb only.
+    trace: Optional[str] = None
+    #: Fixed-rate parameters (used when no trace / for custom channels).
+    rate_mbps: Optional[float] = None
+    rtt_ms: Optional[float] = None
+    name: Optional[str] = None
+    queue_bytes: Optional[int] = None
+
+    def build(self, seed: int) -> List[ChannelSpec]:
+        if self.kind not in CHANNEL_KINDS:
+            raise ScenarioError(
+                f"unknown channel kind {self.kind!r}; known: {', '.join(CHANNEL_KINDS)}"
+            )
+        if self.kind == "embb":
+            if self.trace is not None:
+                kwargs = {}
+                if self.queue_bytes is not None:
+                    kwargs["queue_bytes"] = self.queue_bytes
+                spec = traced_embb_spec(get_trace(self.trace, seed=seed + 1), **kwargs)
+                spec.name = self.name or "embb"
+                return [spec]
+            kwargs = {}
+            if self.rate_mbps is not None:
+                kwargs["rate_bps"] = mbps(self.rate_mbps)
+            if self.rtt_ms is not None:
+                kwargs["rtt"] = ms(self.rtt_ms)
+            if self.queue_bytes is not None:
+                kwargs["queue_bytes"] = self.queue_bytes
+            spec = fixed_embb_spec(**kwargs)
+            spec.name = self.name or "embb"
+            return [spec]
+        if self.kind == "urllc":
+            spec = urllc_spec()
+            if self.name:
+                spec.name = self.name
+            return [spec]
+        if self.kind == "cisp":
+            return [cisp_spec()]
+        if self.kind == "fiber-wan":
+            return [fiber_wan_spec()]
+        if self.kind == "leo":
+            return [leo_spec()]
+        if self.kind == "wifi-mlo":
+            return list(wifi_mlo_specs())
+        # custom: fully explicit fixed-rate symmetric channel.
+        if self.rate_mbps is None or self.rtt_ms is None:
+            raise ScenarioError("custom channels need rate_mbps and rtt_ms")
+        return [
+            ChannelSpec.symmetric(
+                self.name or "custom",
+                mbps(self.rate_mbps),
+                ms(self.rtt_ms) / 2.0,
+                queue_bytes=self.queue_bytes or 256_000,
+            )
+        ]
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChannelConfig":
+        unknown = set(data) - {
+            "kind", "trace", "rate_mbps", "rtt_ms", "name", "queue_bytes"
+        }
+        if unknown:
+            raise ScenarioError(f"unknown channel config keys: {sorted(unknown)}")
+        if "kind" not in data:
+            raise ScenarioError("channel config needs a 'kind'")
+        return cls(**data)
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete, buildable scenario description."""
+
+    channels: List[ChannelConfig] = field(default_factory=list)
+    steering: str = "dchannel"
+    server_steering: Optional[str] = None
+    steering_kwargs: Dict = field(default_factory=dict)
+    seed: int = 0
+
+    def build(self) -> HvcNetwork:
+        if not self.channels:
+            raise ScenarioError("scenario needs at least one channel")
+        specs: List[ChannelSpec] = []
+        for config in self.channels:
+            specs.extend(config.build(self.seed))
+        return HvcNetwork(
+            specs,
+            steering=self.steering,
+            server_steering=self.server_steering,
+            steering_kwargs=self.steering_kwargs or None,
+            seed=self.seed,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        unknown = set(data) - {
+            "channels", "steering", "server_steering", "steering_kwargs", "seed"
+        }
+        if unknown:
+            raise ScenarioError(f"unknown scenario keys: {sorted(unknown)}")
+        channels = [ChannelConfig.from_dict(c) for c in data.get("channels", [])]
+        return cls(
+            channels=channels,
+            steering=data.get("steering", "dchannel"),
+            server_steering=data.get("server_steering"),
+            steering_kwargs=data.get("steering_kwargs", {}),
+            seed=data.get("seed", 0),
+        )
+
+    def to_dict(self) -> Dict:
+        """The JSON-ready inverse of :meth:`from_dict`."""
+        return {
+            "channels": [
+                {k: v for k, v in vars(c).items() if v is not None}
+                for c in self.channels
+            ],
+            "steering": self.steering,
+            "server_steering": self.server_steering,
+            "steering_kwargs": self.steering_kwargs,
+            "seed": self.seed,
+        }

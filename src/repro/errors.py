@@ -1,0 +1,55 @@
+"""Exception hierarchy for the HVC reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event kernel.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already stopped, or re-entrant ``run`` calls.
+    """
+
+
+class NetworkError(ReproError):
+    """Raised for invalid network configuration or packet handling."""
+
+
+class ChannelDownError(NetworkError):
+    """Raised when a packet is sent to a channel that is administratively down."""
+
+
+class TransportError(ReproError):
+    """Raised for transport-layer protocol violations or misuse."""
+
+
+class ConnectionClosedError(TransportError):
+    """Raised when writing to or reading from a closed connection."""
+
+
+class SteeringError(ReproError):
+    """Raised when a steering policy is misconfigured.
+
+    Example: a policy that requires message-priority tags is attached to a
+    device whose applications never tag packets.
+    """
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces (empty, negative rates, bad file format)."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a scenario description is inconsistent or incomplete."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition cannot be run as configured."""

@@ -1,0 +1,78 @@
+"""Programmatic definitions of every paper figure/table + ablations.
+
+Each experiment is a function returning an
+:class:`~repro.core.results.ExperimentResult`; the benchmarks in
+``benchmarks/`` call these and print the rendered output, and
+``python -m repro <name>`` runs them from the CLI.
+
+| id       | paper artifact                 | function                  |
+|----------|--------------------------------|---------------------------|
+| fig1a    | Fig. 1a CCA throughputs        | :func:`run_fig1a`         |
+| fig1b    | Fig. 1b BBR RTT timeline       | :func:`run_fig1b`         |
+| fig2     | Fig. 2 video latency/SSIM CDFs | :func:`run_fig2`          |
+| table1   | Table 1 web PLT                | :func:`run_table1`        |
+| ab-cc    | §3.2 HVC-aware CC ablation     | :func:`run_cc_ablation`   |
+| ab-ack   | §3.2 transport steering        | :func:`run_ack_ablation`  |
+| ab-mlo   | §2.2 MLO replication           | :func:`run_mlo_ablation`  |
+| ab-cost  | §3.1 latency-vs-cost           | :func:`run_cost_ablation` |
+| ab-mp    | §4 multipath subflow design    | :func:`run_multipath_ablation` |
+"""
+
+from repro.experiments.fig1 import run_fig1a, run_fig1b
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.table1 import run_table1
+from repro.experiments.ablations import (
+    run_ack_ablation,
+    run_cc_ablation,
+    run_cost_ablation,
+    run_mlo_ablation,
+    run_multipath_ablation,
+    run_resequencer_ablation,
+    run_tsn_ablation,
+)
+from repro.experiments.baselines import run_baselines
+from repro.experiments.sensitivity import (
+    run_decode_wait_sweep,
+    run_threshold_sweep,
+    run_urllc_bandwidth_sweep,
+    run_urllc_rtt_sweep,
+)
+
+EXPERIMENTS = {
+    "fig1a": run_fig1a,
+    "fig1b": run_fig1b,
+    "fig2": run_fig2,
+    "table1": run_table1,
+    "ab-cc": run_cc_ablation,
+    "ab-ack": run_ack_ablation,
+    "ab-mlo": run_mlo_ablation,
+    "ab-cost": run_cost_ablation,
+    "ab-mp": run_multipath_ablation,
+    "ab-reseq": run_resequencer_ablation,
+    "ab-tsn": run_tsn_ablation,
+    "baselines": run_baselines,
+    "sweep-urllc-bw": run_urllc_bandwidth_sweep,
+    "sweep-threshold": run_threshold_sweep,
+    "sweep-urllc-rtt": run_urllc_rtt_sweep,
+    "sweep-decode-wait": run_decode_wait_sweep,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_fig1a",
+    "run_fig1b",
+    "run_fig2",
+    "run_table1",
+    "run_cc_ablation",
+    "run_ack_ablation",
+    "run_mlo_ablation",
+    "run_cost_ablation",
+    "run_multipath_ablation",
+    "run_resequencer_ablation",
+    "run_tsn_ablation",
+    "run_baselines",
+    "run_urllc_bandwidth_sweep",
+    "run_threshold_sweep",
+    "run_urllc_rtt_sweep",
+    "run_decode_wait_sweep",
+]

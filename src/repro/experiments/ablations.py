@@ -1,0 +1,502 @@
+"""Ablations for the design choices the paper argues for (§3.2, §2.2, §3.1).
+
+These go beyond the paper's figures: each isolates one claimed mechanism.
+
+* ``ab-cc``   — HVC-aware congestion control (§3.2): BBR / Vegas / Vivace
+  with and without per-channel RTT interpretation, on the Fig. 1 setup.
+* ``ab-ack``  — transport-layer segment steering (§3.2): request-response
+  latency under DChannel vs transport-aware steering (ACK separation +
+  tail acceleration), with a fat-ACK variant showing why network-layer
+  steering loses the separation.
+* ``ab-mlo``  — Wi-Fi 7 MLO replication (§2.2): bandwidth vs reliability.
+* ``ab-cost`` — cISP-style latency-vs-cost budgets (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.bulk import BulkTransfer
+from repro.core.api import HvcNetwork
+from repro.core.metrics import Cdf
+from repro.core.results import ExperimentResult, SeriesSet, Table
+from repro.net.hvc import (
+    cisp_spec,
+    fiber_wan_spec,
+    fixed_embb_spec,
+    urllc_spec,
+    wifi_mlo_specs,
+    wifi_tsn_spec,
+)
+from repro.steering.cost import CostAwareSteerer
+from repro.steering.redundant import RedundantSteerer
+from repro.steering.single import SingleChannelSteerer
+from repro.transport import next_flow_id
+from repro.transport.connection import Connection
+from repro.transport.multipath import MultipathConnection
+from repro.units import kb, to_mbps, to_ms
+
+from repro.experiments.fig1 import run_single_cca
+
+
+# ----------------------------------------------------------------------
+# ab-cc: HVC-aware congestion control rescues delay-based CCAs
+# ----------------------------------------------------------------------
+def run_cc_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentResult:
+    """Fig. 1 setup, each delay-based CCA vs its HVC-aware wrapper."""
+    result = ExperimentResult(
+        name="ab-cc",
+        description=(
+            "§3.2 ablation: per-channel RTT interpretation (hvc-* wrapper) "
+            "restores throughput that DChannel steering destroys."
+        ),
+    )
+    table = Table(
+        ["CCA", "plain (Mbps)", "hvc-aware (Mbps)", "recovery"],
+        title="HVC-aware congestion control",
+    )
+    for cc in ("bbr", "vegas", "vivace"):
+        plain = run_single_cca(cc, duration=duration, seed=seed)
+        aware = run_single_cca(f"hvc-{cc}", duration=duration, seed=seed)
+        plain_mbps = to_mbps(plain.mean_throughput_bps(end=duration))
+        aware_mbps = to_mbps(aware.mean_throughput_bps(end=duration))
+        result.values[f"{cc}:plain"] = plain_mbps
+        result.values[f"{cc}:aware"] = aware_mbps
+        table.add_row(cc, plain_mbps, aware_mbps, f"{aware_mbps / plain_mbps:.1f}x")
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: hvc-aware throughput should exceed plain for every "
+        "delay-based CCA"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# ab-ack: transport-layer segment steering
+# ----------------------------------------------------------------------
+def _request_response_latencies(
+    steering,
+    count: int = 40,
+    response_bytes: int = kb(30),
+    ack_bytes: int = 0,
+    background: bool = True,
+    seed: int = 0,
+) -> List[float]:
+    """Round-trip times of sequential request→response exchanges.
+
+    An optional bulk background flow keeps the eMBB queue occupied so
+    control-packet placement matters (an idle network hides it).
+    """
+    net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering=steering, seed=seed)
+    if background:
+        BulkTransfer(net, cc="cubic")
+        net.run(until=1.0)
+
+    latencies: List[float] = []
+    flow_id = next_flow_id()
+    state = {"started_at": 0.0}
+
+    def on_response(receipt):
+        latencies.append(net.now - state["started_at"])
+        issue_next()
+
+    client = Connection(
+        net.sim, net.client, flow_id, cc="cubic", ack_bytes=ack_bytes,
+        on_message=on_response,
+    )
+
+    def on_request(receipt):
+        server.send_message(response_bytes, message_id=receipt.message_id + 5000)
+
+    server = Connection(
+        net.sim, net.server, flow_id, cc="cubic", ack_bytes=ack_bytes,
+        on_message=on_request,
+    )
+
+    def issue_next():
+        if len(latencies) >= count:
+            return
+        state["started_at"] = net.now
+        client.send_message(kb(1), message_id=len(latencies))
+
+    issue_next()
+    deadline = net.now + 120.0
+    while len(latencies) < count and net.now < deadline and net.sim.pending_events:
+        net.run(until=min(net.now + 1.0, deadline))
+    return latencies
+
+
+def run_ack_ablation(seed: int = 0) -> ExperimentResult:
+    """Request-response latency: DChannel vs transport-aware steering."""
+    result = ExperimentResult(
+        name="ab-ack",
+        description=(
+            "§3.2 ablation: ACK separation and end-of-message acceleration "
+            "at the transport layer vs network-layer DChannel, under bulk "
+            "contention. 'dchannel fat-acks' tacks 600 B of data onto each "
+            "ACK, which pushes it off the low-latency channel."
+        ),
+    )
+    table = Table(
+        ["steering", "p50 (ms)", "p95 (ms)"],
+        title="Request-response latency under contention",
+    )
+    configs = [
+        ("dchannel", "dchannel", 0),
+        ("dchannel fat-acks", "dchannel", 600),
+        ("transport-aware", "transport-aware", 0),
+    ]
+    for label, policy, ack_bytes in configs:
+        latencies = _request_response_latencies(
+            policy, ack_bytes=ack_bytes, seed=seed
+        )
+        cdf = Cdf(latencies)
+        result.values[f"{label}:p50_ms"] = to_ms(cdf.median)
+        result.values[f"{label}:p95_ms"] = to_ms(cdf.percentile(95))
+        table.add_row(label, to_ms(cdf.median), to_ms(cdf.percentile(95)))
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: transport-aware <= dchannel <= dchannel fat-acks at p95"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# ab-mlo: replication trades bandwidth for reliability
+# ----------------------------------------------------------------------
+def run_mlo_ablation(duration: float = 20.0, seed: int = 0) -> ExperimentResult:
+    """Two lossy Wi-Fi MLO links: replicate vs spray vs single link."""
+    result = ExperimentResult(
+        name="ab-mlo",
+        description=(
+            "§2.2 opportunity: replicating datagrams across both MLO links "
+            "sacrifices bandwidth for delivery reliability under bursty loss."
+        ),
+    )
+    table = Table(
+        ["policy", "delivered %", "goodput (Mbps)"],
+        title="Wi-Fi MLO bandwidth-vs-reliability",
+    )
+    policies = {
+        "single-link": SingleChannelSteerer(index=0),
+        "spray (min-rtt)": "min-rtt",
+        "replicate": RedundantSteerer(mode="all"),
+    }
+    for label, steering in policies.items():
+        net = HvcNetwork(list(wifi_mlo_specs()), steering=steering, seed=seed)
+        received = []
+        pair = net.open_datagram(on_server_message=received.append)
+        sent = 0
+        message_bytes = kb(10)
+
+        def send_burst():
+            nonlocal sent
+            pair.client.send_message(message_bytes, message_id=sent)
+            sent += 1
+
+        from repro.sim.timers import PeriodicTimer
+
+        timer = PeriodicTimer(net.sim, 0.005, send_burst, start_delay=0.0)
+        net.run(until=duration)
+        timer.stop()
+        net.run(until=duration + 1.0)
+        delivered_fraction = len(received) / max(sent, 1)
+        goodput = len(received) * message_bytes * 8 / duration
+        result.values[f"{label}:delivered"] = delivered_fraction
+        result.values[f"{label}:goodput_mbps"] = to_mbps(goodput)
+        table.add_row(label, f"{100 * delivered_fraction:.1f}", to_mbps(goodput))
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: replicate has the highest delivery rate; spray has the "
+        "highest offered-load tolerance (goodput) on clean periods"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# ab-mp: multipath transport with per-channel subflows (§4 design)
+# ----------------------------------------------------------------------
+def _multipath_mixed_workload(
+    scheduler: str, duration: float = 20.0, seed: int = 0
+) -> Tuple[float, List[float]]:
+    """A backlogged bulk connection plus a small-RPC connection, both
+    multipath with the given scheduler; returns (bulk goodput bps, rpc
+    latencies). The interesting effect is contention: what the bulk
+    scheduler does to the URLLC queue determines the RPCs' fate."""
+    net = HvcNetwork(
+        [fixed_embb_spec(), urllc_spec()], steering="single", seed=seed
+    )
+    bulk_id = next_flow_id()
+    bulk_sender = MultipathConnection(
+        net.sim, net.client, bulk_id, cc="cubic", scheduler=scheduler
+    )
+    MultipathConnection(net.sim, net.server, bulk_id, cc="cubic", scheduler=scheduler)
+    bulk_sender.send_message(10**9, message_id=1)  # backlogged
+
+    rpc_latencies: List[float] = []
+    sent_at: Dict[int, float] = {}
+
+    def on_message(receipt):
+        if receipt.message_id in sent_at:
+            rpc_latencies.append(net.now - sent_at[receipt.message_id])
+
+    rpc_id = next_flow_id()
+    rpc_sender = MultipathConnection(
+        net.sim, net.client, rpc_id, cc="cubic", scheduler=scheduler
+    )
+    MultipathConnection(
+        net.sim, net.server, rpc_id, cc="cubic", scheduler=scheduler,
+        on_message=on_message,
+    )
+
+    from repro.sim.timers import PeriodicTimer
+
+    state = {"next_id": 0}
+
+    def send_rpc():
+        sent_at[state["next_id"]] = net.now
+        rpc_sender.send_message(kb(2), message_id=state["next_id"])
+        state["next_id"] += 1
+
+    timer = PeriodicTimer(net.sim, 0.25, send_rpc)
+    # Slow-start overshoot and its recovery take ~8 s on this BDP; measure
+    # bulk goodput over the steady tail only.
+    warmup = min(10.0, duration / 2.0)
+    net.run(until=warmup)
+    delivered_at_warmup = (
+        bulk_sender.delivered_timeline[-1][1] if bulk_sender.delivered_timeline else 0
+    )
+    net.run(until=duration)
+    timer.stop()
+    delivered_at_end = bulk_sender.delivered_timeline[-1][1]
+    net.run(until=duration + 2.0)
+    goodput = (delivered_at_end - delivered_at_warmup) * 8 / (duration - warmup)
+    return goodput, rpc_latencies
+
+
+def run_multipath_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentResult:
+    """§4 design: per-channel subflows + schedulers vs single-path steering.
+
+    Interleaved messages on a backlogged connection measure how well each
+    approach accelerates the bytes an application is waiting on while
+    filling the fat channel.
+    """
+    result = ExperimentResult(
+        name="ab-mp",
+        description=(
+            "Multipath transport (per-channel subflows): hvc scheduler vs "
+            "minRTT, on a bulk + RPC mixed workload over eMBB + URLLC."
+        ),
+    )
+    table = Table(
+        ["scheduler", "bulk goodput (Mbps)", "rpc p95 (ms)"],
+        title="Multipath schedulers, mixed workload",
+    )
+    for scheduler in ("minrtt", "hvc"):
+        goodput, latencies = _multipath_mixed_workload(
+            scheduler, duration=duration, seed=seed
+        )
+        cdf = Cdf(latencies)
+        result.values[f"{scheduler}:goodput_mbps"] = to_mbps(goodput)
+        result.values[f"{scheduler}:rpc_p95_ms"] = to_ms(cdf.percentile(95))
+        table.add_row(scheduler, to_mbps(goodput), to_ms(cdf.percentile(95)))
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: the hvc scheduler should match minRTT's goodput while "
+        "cutting the RPC latency tail (messages ride URLLC, bulk rides eMBB)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# ab-tsn: Wi-Fi TSN's express lane is paid for by other users (§2.2)
+# ----------------------------------------------------------------------
+def run_tsn_ablation(duration: float = 10.0, seed: int = 0) -> ExperimentResult:
+    """One user's time-critical traffic vs everyone else's latency.
+
+    §2.2: "unlike cellular, resources are not dedicated to a user and other
+    users bear the cost of one's use of the low latency service." On a
+    shared Wi-Fi TSN channel, user A injects express (control-class)
+    traffic at increasing rates while user B runs small RPCs in the normal
+    band; B's latency quantifies the multiplexing loss.
+    """
+    from repro.net.packet import Packet, PacketType
+    from repro.sim.timers import PeriodicTimer
+
+    result = ExperimentResult(
+        name="ab-tsn",
+        description=(
+            "Wi-Fi TSN express-lane cost: bystander RPC latency vs another "
+            "user's time-critical traffic rate on the shared channel."
+        ),
+    )
+    table = Table(
+        ["express load (Mbps)", "bystander RPC p95 (ms)"],
+        title="TSN multiplexing cost",
+    )
+    for express_mbps in (0.0, 8.0, 24.0):
+        net = HvcNetwork([wifi_tsn_spec()], steering="single", seed=seed)
+
+        # User A: time-critical express traffic (control-class datagrams).
+        express_bytes = 250  # URLLC-sized small packets
+        if express_mbps > 0:
+            # The express stream loads both directions (two TSN talkers).
+            interval = 2 * express_bytes * 8 / (express_mbps * 1e6)
+
+            def inject() -> None:
+                up = Packet(flow_id=999, ptype=PacketType.PROBE)
+                up.header_bytes = express_bytes
+                net.client.send(up)
+                down = Packet(flow_id=998, ptype=PacketType.PROBE)
+                down.header_bytes = express_bytes
+                net.server.send(down)
+
+            PeriodicTimer(net.sim, interval, inject, start_delay=0.0)
+            net.server.set_default_handler(lambda p: None)
+            net.client.set_default_handler(lambda p: None)
+
+        # User B: request/response RPCs in the normal band.
+        latencies: List[float] = []
+        state = {"started": 0.0}
+        flow_id = next_flow_id()
+
+        def on_reply(receipt):
+            latencies.append(net.now - state["started"])
+            issue()
+
+        client = Connection(net.sim, net.client, flow_id, cc="cubic", on_message=on_reply)
+
+        def on_request(receipt):
+            server.send_message(kb(20), message_id=receipt.message_id + 5000)
+
+        server = Connection(net.sim, net.server, flow_id, cc="cubic", on_message=on_request)
+
+        def issue():
+            if len(latencies) >= 50:
+                return
+            state["started"] = net.now
+            client.send_message(kb(1), message_id=len(latencies))
+
+        issue()
+        while len(latencies) < 50 and net.now < duration * 6 and net.sim.pending_events:
+            net.run(until=net.now + 0.5)
+        cdf = Cdf(latencies)
+        result.values[f"{express_mbps}:p95_ms"] = to_ms(cdf.percentile(95))
+        table.add_row(express_mbps, to_ms(cdf.percentile(95)))
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: the bystander's latency grows with the express load — "
+        "TSN's determinism for one user is multiplexing loss for the rest"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# ab-reseq: the shim resequencer is load-bearing
+# ----------------------------------------------------------------------
+def run_resequencer_ablation(duration: float = 20.0, seed: int = 0) -> ExperimentResult:
+    """CUBIC bulk under DChannel with and without the reorder buffer.
+
+    Splitting one TCP flow's packets across channels with ~10× different
+    delays reorders them; a SACK transport misreads the holes as loss and
+    keeps halving its window (spurious loss inference), pinning throughput
+    near the floor. DChannel deploys a receiver-side resequencer precisely
+    for this — Fig. 1a's "CUBIC fills the pipe" result depends on it.
+    """
+    result = ExperimentResult(
+        name="ab-reseq",
+        description=(
+            "DChannel's receiver-side resequencer: CUBIC bulk throughput "
+            "and spurious retransmissions with the reorder buffer on/off."
+        ),
+    )
+    table = Table(
+        ["resequencer", "throughput (Mbps)", "retransmissions"],
+        title="Shim reorder protection",
+    )
+    for label, enabled in (("on", True), ("off", False)):
+        net = HvcNetwork(
+            [fixed_embb_spec(), urllc_spec()],
+            steering="dchannel",
+            seed=seed,
+            resequence=enabled,
+        )
+        bulk = BulkTransfer(net, cc="cubic")
+        net.run(until=duration)
+        throughput = to_mbps(bulk.mean_throughput_bps(end=duration))
+        rtx = bulk.pair.client.stats.retransmissions
+        result.values[f"{label}:mbps"] = throughput
+        result.values[f"{label}:rtx"] = rtx
+        table.add_row(label, throughput, rtx)
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: disabling the resequencer collapses throughput — "
+        "reordering-induced SACK holes read as loss, so the window keeps "
+        "halving (the 'on' run's retransmissions are CUBIC's ordinary "
+        "buffer-overflow sawtooth at full rate)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# ab-cost: latency vs monetary cost
+# ----------------------------------------------------------------------
+def run_cost_ablation(seed: int = 0) -> ExperimentResult:
+    """Request-response latency vs spend across willingness-to-pay levels."""
+    result = ExperimentResult(
+        name="ab-cost",
+        description=(
+            "§3.1 opportunity: a cISP-style priced low-latency WAN channel "
+            "next to fiber; steering spends budget only where a packet's "
+            "delivery-time saving justifies its price."
+        ),
+    )
+    table = Table(
+        ["max $/s saved", "p95 latency (ms)", "spend ($)"],
+        title="Latency vs cost (cISP + fiber)",
+    )
+    for willingness in (0.0, 0.1, 10.0):
+        steerer = CostAwareSteerer(
+            budget_per_s=0.05, burst=0.2, max_price_per_second_saved=willingness
+        )
+        net = HvcNetwork(
+            [fiber_wan_spec(), cisp_spec()], steering=steerer, seed=seed
+        )
+        latencies = []
+        flow_id = next_flow_id()
+        state = {"started_at": 0.0}
+
+        def on_response(receipt):
+            latencies.append(net.now - state["started_at"])
+            issue()
+
+        client = Connection(
+            net.sim, net.client, flow_id, cc="cubic", on_message=on_response
+        )
+
+        def on_request(receipt):
+            server.send_message(kb(4), message_id=receipt.message_id + 5000)
+
+        server = Connection(
+            net.sim, net.server, flow_id, cc="cubic", on_message=on_request
+        )
+
+        def issue():
+            if len(latencies) >= 60:
+                return
+            state["started_at"] = net.now
+            client.send_message(300, message_id=len(latencies))
+
+        issue()
+        while len(latencies) < 60 and net.now < 120.0 and net.sim.pending_events:
+            net.run(until=net.now + 1.0)
+        cdf = Cdf(latencies)
+        spend = net.total_cost()
+        result.values[f"{willingness}:p95_ms"] = to_ms(cdf.percentile(95))
+        result.values[f"{willingness}:spend"] = spend
+        table.add_row(willingness, to_ms(cdf.percentile(95)), f"{spend:.4f}")
+    result.tables.append(table)
+    result.notes.append(
+        "shape check: latency falls and spend rises as willingness-to-pay grows"
+    )
+    return result

@@ -1,0 +1,90 @@
+"""The policy zoo: every steering baseline on the web workload.
+
+The paper's related-work argument in one table: heterogeneity-blind
+multipath (round-robin, rate-weighted), MPTCP-style schedulers (minRTT,
+ECF), IANS-style flow-level selection (flow-pinned), DChannel's per-packet
+steering, and transport-aware segment steering — all loading the same pages
+over driving-trace eMBB + URLLC.
+
+Expected ordering (the paper's narrative):
+
+* eMBB-only — baseline;
+* flow-pinned — little or no win (whole flows on one channel; web flows
+  are too big for URLLC, so most pins land on eMBB);
+* round-robin — actively harmful (half the bytes take a 2 Mbps channel);
+* minRTT/ECF — moderate (delay-aware but class-blind);
+* dchannel / transport-aware — best (accelerate the right packets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.apps.web.browser import load_page
+from repro.apps.web.corpus import generate_corpus
+from repro.core.api import HvcNetwork
+from repro.core.results import ExperimentResult, Table
+from repro.net.hvc import traced_embb_spec, urllc_spec
+from repro.steering.single import SingleChannelSteerer
+from repro.traces.catalog import get_trace
+from repro.units import to_ms
+
+BASELINE_POLICIES = (
+    "embb-only",
+    "flow-pinned",
+    "round-robin",
+    "min-rtt",
+    "ecf",
+    "dchannel",
+    "transport-aware",
+)
+
+
+def _steering_for(policy: str):
+    if policy == "embb-only":
+        return SingleChannelSteerer(channel_name="embb")
+    return policy
+
+
+def run_baselines(
+    policies: Sequence[str] = BASELINE_POLICIES,
+    page_count: int = 10,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Mean web PLT per steering policy (driving trace, no background)."""
+    pages = generate_corpus(count=page_count, seed=seed)
+    result = ExperimentResult(
+        name="baselines",
+        description=(
+            "Mean web PLT for the whole steering-policy zoo over "
+            "5G Lowband driving + URLLC."
+        ),
+    )
+    table = Table(["policy", "mean PLT (ms)", "vs eMBB-only"], title="Policy zoo")
+    means: Dict[str, float] = {}
+    for policy in policies:
+        plts: List[float] = []
+        for index, page in enumerate(pages):
+            trace = get_trace("5g-lowband-driving", seed=seed + index + 1)
+            embb = traced_embb_spec(trace)
+            embb.name = "embb"
+            net = HvcNetwork(
+                [embb, urllc_spec()], steering=_steering_for(policy),
+                seed=seed + index,
+            )
+            outcome = load_page(net, page, cc="cubic", timeout=45.0)
+            plts.append(outcome.plt if outcome.complete else 45.0)
+        means[policy] = to_ms(sum(plts) / len(plts))
+        result.values[policy] = means[policy]
+    baseline = means.get("embb-only")
+    for policy in policies:
+        delta = (
+            f"{100 * (1 - means[policy] / baseline):+.1f}%"
+            if baseline
+            else "-"
+        )
+        table.add_row(policy, means[policy], delta)
+    result.tables.append(table)
+    ordering = sorted(means, key=means.get)
+    result.notes.append("fastest to slowest: " + " < ".join(ordering))
+    return result

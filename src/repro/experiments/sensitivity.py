@@ -1,0 +1,216 @@
+"""Sensitivity sweeps for the design parameters the paper leaves open.
+
+* **URLLC bandwidth** — §2.1 notes URLLC offers 0.4–16 Mbps; how much does
+  a web workload actually need before gains saturate? (The answer shapes
+  whether operators must provision URLLC generously to make steering pay.)
+* **DChannel savings threshold** — the reward/cost hysteresis: too eager
+  and data floods the narrow channel, too timid and acceleration is lost.
+* **URLLC RTT** — how fast must the "fast" channel be to matter, given
+  eMBB's ~50 ms?
+
+Each sweep returns an :class:`~repro.core.results.ExperimentResult` with a
+series per metric, printed by ``benchmarks/test_bench_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.web.background import BackgroundFlows
+from repro.apps.web.browser import load_page
+from repro.apps.web.corpus import generate_corpus
+from repro.core.api import HvcNetwork
+from repro.core.results import ExperimentResult, SeriesSet, Table
+from repro.net.channel import ChannelSpec, DirectionSpec
+from repro.net.hvc import URLLC_QUEUE_BYTES, traced_embb_spec
+from repro.steering.dchannel import DChannelSteerer
+from repro.traces.catalog import get_trace
+from repro.units import mbps, ms, to_ms
+
+DEFAULT_URLLC_RATES_MBPS = (0.5, 1.0, 2.0, 4.0, 8.0)
+DEFAULT_THRESHOLDS_MS = (0.0, 5.0, 15.0, 30.0)
+DEFAULT_URLLC_RTTS_MS = (2.0, 5.0, 15.0, 30.0)
+
+
+def _custom_urllc(rate_bps: float, rtt: float) -> ChannelSpec:
+    one_way = rtt / 2.0
+    return ChannelSpec(
+        name="urllc",
+        up=DirectionSpec(rate_bps=rate_bps, delay=one_way, queue_bytes=URLLC_QUEUE_BYTES),
+        down=DirectionSpec(rate_bps=rate_bps, delay=one_way, queue_bytes=URLLC_QUEUE_BYTES),
+        reliable=True,
+    )
+
+
+def _mean_plt(
+    urllc_rate_bps: float,
+    urllc_rtt: float,
+    steerer,
+    pages,
+    seed: int,
+    with_background: bool = True,
+) -> float:
+    """Mean PLT (seconds) over ``pages`` for one channel/policy setting."""
+    plts: List[float] = []
+    for index, page in enumerate(pages):
+        trace = get_trace("5g-lowband-driving", seed=seed + index + 1)
+        embb = traced_embb_spec(trace)
+        embb.name = "embb"
+        net = HvcNetwork(
+            [embb, _custom_urllc(urllc_rate_bps, urllc_rtt)],
+            steering=steerer,
+            seed=seed + index,
+        )
+        background = BackgroundFlows(net) if with_background else None
+        net.run(until=0.2)
+        result = load_page(net, page, cc="cubic", timeout=45.0)
+        if background is not None:
+            background.close()
+        plts.append(result.plt if result.complete else 45.0)
+    return sum(plts) / len(plts)
+
+
+def run_urllc_bandwidth_sweep(
+    rates_mbps: Sequence[float] = DEFAULT_URLLC_RATES_MBPS,
+    page_count: int = 8,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Web PLT vs URLLC bandwidth under DChannel steering."""
+    pages = generate_corpus(count=page_count, seed=seed)
+    result = ExperimentResult(
+        name="sweep-urllc-bw",
+        description=(
+            "Mean web PLT (driving trace, background flows) as URLLC "
+            "bandwidth varies, DChannel steering."
+        ),
+    )
+    table = Table(["URLLC Mbps", "mean PLT (ms)"], title="URLLC bandwidth sweep")
+    series = SeriesSet(title="PLT vs URLLC bandwidth", x_label="Mbps", y_label="ms")
+    points = []
+    for rate in rates_mbps:
+        plt_ms = to_ms(
+            _mean_plt(mbps(rate), ms(5), DChannelSteerer(), pages, seed)
+        )
+        result.values[f"{rate}"] = plt_ms
+        table.add_row(rate, plt_ms)
+        points.append((rate, plt_ms))
+    series.add("dchannel", points)
+    result.tables.append(table)
+    result.series.append(series)
+    result.notes.append(
+        "finding: with background flows competing, PLT keeps improving past "
+        "2 Mbps — the paper's URLLC emulation point is genuinely scarce, "
+        "which is why Table 1's flow-priority arbitration matters"
+    )
+    return result
+
+
+def run_threshold_sweep(
+    thresholds_ms: Sequence[float] = DEFAULT_THRESHOLDS_MS,
+    page_count: int = 8,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Web PLT vs DChannel's savings threshold (reward hysteresis)."""
+    pages = generate_corpus(count=page_count, seed=seed)
+    result = ExperimentResult(
+        name="sweep-threshold",
+        description="Mean web PLT vs DChannel savings_threshold.",
+    )
+    table = Table(["threshold (ms)", "mean PLT (ms)"], title="Savings-threshold sweep")
+    for threshold in thresholds_ms:
+        steerer = DChannelSteerer(savings_threshold=ms(threshold))
+        plt_ms = to_ms(_mean_plt(mbps(2), ms(5), steerer, pages, seed))
+        result.values[f"{threshold}"] = plt_ms
+        table.add_row(threshold, plt_ms)
+    result.tables.append(table)
+    result.notes.append(
+        "finding: PLT is fairly flat across 0-30 ms; a moderate hysteresis "
+        "(~15 ms) can help slightly by damping channel flapping"
+    )
+    return result
+
+
+def run_decode_wait_sweep(
+    waits_ms: Sequence[float] = (0.0, 20.0, 60.0, 200.0, 500.0),
+    duration: float = 30.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The paper's 60 ms decode-wait rule, swept (§3.3).
+
+    "This waiting period helps strike the right balance between latency and
+    quality. Without it, the receiver only ever decodes layer 0 ... if it
+    waits for too long, then it will get a very delayed higher-quality
+    frame." We sweep the wait on the Fig. 2 lowband-driving scenario with
+    DChannel steering and report both sides of the trade.
+    """
+    from repro.apps.video.quality import SsimModel
+    from repro.apps.video.receiver import VideoReceiver
+    from repro.apps.video.sender import VideoSender
+    from repro.apps.video.svc import SvcEncoderModel
+    from repro.experiments.fig2 import video_network
+
+    result = ExperimentResult(
+        name="sweep-decode-wait",
+        description=(
+            "Frame latency vs quality as the receiver's decode-wait varies "
+            "(lowband driving + URLLC, DChannel steering)."
+        ),
+    )
+    table = Table(
+        ["wait (ms)", "p95 latency (ms)", "mean SSIM"],
+        title="Decode-wait trade-off",
+    )
+    for wait_ms in waits_ms:
+        net = video_network("5g-lowband-driving", "dchannel", seed=seed)
+        encoder = SvcEncoderModel()
+        pair = net.open_datagram()
+        VideoSender(net.sim, pair.client, encoder, duration=duration)
+        receiver = VideoReceiver(
+            net.sim, pair.server, encoder, decode_wait=max(ms(wait_ms), 1e-6)
+        )
+        net.run(until=duration + 2.0)
+        ssim_model = SsimModel()
+        decoded = [f for f in receiver.frames if f.decoded]
+        latencies = sorted(f.latency for f in decoded)
+        p95 = latencies[int(len(latencies) * 0.95)] if latencies else 0.0
+        mean_ssim = (
+            sum(ssim_model.ssim(f.frame_index, f.decoded_layer) for f in decoded)
+            / len(decoded)
+            if decoded
+            else 0.0
+        )
+        result.values[f"{wait_ms}:p95_ms"] = to_ms(p95)
+        result.values[f"{wait_ms}:ssim"] = mean_ssim
+        table.add_row(wait_ms, to_ms(p95), round(mean_ssim, 3))
+    result.tables.append(table)
+    result.notes.append(
+        "paper's claim: no wait → base-layer-only quality; long waits → "
+        "stale frames; ~60 ms balances the two"
+    )
+    return result
+
+
+def run_urllc_rtt_sweep(
+    rtts_ms: Sequence[float] = DEFAULT_URLLC_RTTS_MS,
+    page_count: int = 8,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Web PLT vs URLLC RTT: how fast must the fast channel be?"""
+    pages = generate_corpus(count=page_count, seed=seed)
+    result = ExperimentResult(
+        name="sweep-urllc-rtt",
+        description="Mean web PLT as the low-latency channel's RTT varies.",
+    )
+    table = Table(["URLLC RTT (ms)", "mean PLT (ms)"], title="URLLC RTT sweep")
+    for rtt in rtts_ms:
+        plt_ms = to_ms(
+            _mean_plt(mbps(2), ms(rtt), DChannelSteerer(), pages, seed)
+        )
+        result.values[f"{rtt}"] = plt_ms
+        table.add_row(rtt, plt_ms)
+    result.tables.append(table)
+    result.notes.append(
+        "expected: gains shrink as the URLLC RTT approaches eMBB's ~50 ms "
+        "(the base-delay gap is the steering budget)"
+    )
+    return result

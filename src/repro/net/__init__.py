@@ -1,0 +1,31 @@
+"""Network substrate: packets, links, channels, hosts.
+
+The model is a pair of hosts connected by one or more *channels*; each
+channel is a bidirectional pair of unidirectional links with their own rate,
+base delay, queue and loss process. A host's :class:`~repro.net.node.Device`
+multiplexes all of its flows over the attached channels, consulting a
+steering policy (:mod:`repro.steering`) for every outgoing packet.
+"""
+
+from repro.net.packet import Packet, PacketType
+from repro.net.queue import DropTailQueue
+from repro.net.loss import NoLoss, BernoulliLoss, GilbertElliottLoss
+from repro.net.link import Link, LinkSpec
+from repro.net.channel import Channel, ChannelSpec, DirectionSpec
+from repro.net.node import Device, ChannelView
+
+__all__ = [
+    "Packet",
+    "PacketType",
+    "DropTailQueue",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "Link",
+    "LinkSpec",
+    "Channel",
+    "ChannelSpec",
+    "DirectionSpec",
+    "Device",
+    "ChannelView",
+]

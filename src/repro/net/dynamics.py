@@ -1,0 +1,67 @@
+"""Scripted channel dynamics: outages and handover-style events.
+
+Traces capture *continuous* variation; this module scripts *discrete*
+events — a URLLC grant revoked for two seconds, a Wi-Fi link going down
+during a handover, an eMBB cell switch — on top of any channel::
+
+    timeline = ChannelTimeline(sim, net.channel_named("urllc"))
+    timeline.outage(start=5.0, duration=2.0)
+    timeline.at(10.0, lambda ch: ch.set_up(False))
+
+Events are ordinary simulator callbacks, so they compose with everything
+else and stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ChannelEvent:
+    """One scheduled change, recorded for inspection."""
+
+    time: float
+    description: str
+
+
+class ChannelTimeline:
+    """Schedules administrative events against one channel."""
+
+    def __init__(self, sim: Simulator, channel: Channel) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.events: List[ChannelEvent] = []
+
+    def at(self, time: float, action: Callable[[Channel], None], description: str = "") -> None:
+        """Run ``action(channel)`` at absolute simulation time ``time``."""
+        if time < self.sim.now:
+            raise NetworkError(
+                f"cannot schedule channel event at {time}; now is {self.sim.now}"
+            )
+        self.events.append(ChannelEvent(time=time, description=description or "custom"))
+        self.sim.schedule_at(time, action, self.channel)
+
+    def outage(self, start: float, duration: float) -> None:
+        """Take the channel down at ``start`` for ``duration`` seconds."""
+        if duration <= 0:
+            raise NetworkError(f"outage duration must be positive, got {duration}")
+        self.at(start, lambda ch: ch.set_up(False), f"outage begin ({duration:.2f}s)")
+        self.at(start + duration, lambda ch: ch.set_up(True), "outage end")
+
+    def flap(self, start: float, period: float, count: int, down_fraction: float = 0.5) -> None:
+        """``count`` down/up cycles of ``period`` seconds from ``start``.
+
+        Each cycle is down for ``down_fraction`` of the period, then up.
+        """
+        if not 0 < down_fraction < 1:
+            raise NetworkError(f"down_fraction must be in (0,1), got {down_fraction}")
+        if period <= 0 or count < 1:
+            raise NetworkError("period must be positive and count >= 1")
+        for i in range(count):
+            self.outage(start + i * period, period * down_fraction)

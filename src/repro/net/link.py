@@ -1,0 +1,177 @@
+"""Unidirectional links: serializer + drop-tail buffer + propagation delay.
+
+A link models the classic bottleneck pipeline: packets wait in a byte-bounded
+FIFO, are serialized one at a time at the link's (possibly time-varying)
+rate, may be lost by a stochastic process on departure, and arrive at the
+receiver one propagation delay later. Delivery order is FIFO even when the
+propagation delay shrinks mid-flight (as in trace-driven 5G links).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue, PriorityDropTailQueue
+from repro.sim.kernel import Simulator
+from repro.units import transmission_time
+
+#: How long a link waits before re-checking a trace whose current rate is 0.
+OUTAGE_POLL_INTERVAL = 1e-3
+
+
+@dataclass
+class LinkSpec:
+    """Static description of one link direction.
+
+    Either give a fixed ``rate_bps``/``delay``, or a ``trace`` providing
+    ``rate_at(t)`` and ``delay_at(t)`` (see :mod:`repro.traces.model`); the
+    trace takes precedence when present.
+    """
+
+    rate_bps: float = 0.0
+    delay: float = 0.0
+    queue_bytes: int = 256_000
+    loss: Optional[LossModel] = None
+    trace: Optional[object] = None
+    priority_queue: bool = False
+
+    def validate(self) -> None:
+        if self.trace is None and self.rate_bps <= 0:
+            raise NetworkError(f"link needs a positive rate or a trace, got {self.rate_bps}")
+        if self.delay < 0:
+            raise NetworkError(f"delay must be non-negative, got {self.delay}")
+        if self.queue_bytes <= 0:
+            raise NetworkError(f"queue_bytes must be positive, got {self.queue_bytes}")
+
+
+@dataclass
+class LinkStats:
+    """Lifetime counters for one link."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    overflow_drops: int = 0
+    bytes_delivered: int = 0
+    busy_time: float = 0.0
+
+
+class Link:
+    """One direction of a channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: LinkSpec,
+        name: str = "link",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        spec.validate()
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.rng = rng if rng is not None else random.Random(0)
+        self.loss: LossModel = spec.loss if spec.loss is not None else NoLoss()
+        queue_cls = PriorityDropTailQueue if spec.priority_queue else DropTailQueue
+        self.queue = queue_cls(spec.queue_bytes)
+        self.stats = LinkStats()
+        self.receiver: Optional[Callable[[Packet], None]] = None
+        self.up = True
+        self._serving: Optional[Packet] = None
+        self._last_delivery_time = -1.0
+        #: Optional instrumentation hook called as ``fn(packet, link)``
+        #: when a packet completes serialization (before loss is applied).
+        self.on_depart: Optional[Callable[[Packet, "Link"], None]] = None
+
+    # ------------------------------------------------------------------
+    # Time-varying characteristics
+    # ------------------------------------------------------------------
+    def current_rate(self) -> float:
+        """Serialization rate right now (bits/s); 0 during a trace outage."""
+        if self.spec.trace is not None:
+            return float(self.spec.trace.rate_at(self.sim.now))
+        return self.spec.rate_bps
+
+    def current_delay(self) -> float:
+        """One-way propagation delay right now (seconds)."""
+        if self.spec.trace is not None:
+            return float(self.spec.trace.delay_at(self.sim.now))
+        return self.spec.delay
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes waiting or in service (the sender-visible backlog)."""
+        serving = self._serving.size_bytes if self._serving is not None else 0
+        return self.queue.backlog_bytes + serving
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def connect(self, receiver: Callable[[Packet], None]) -> None:
+        """Set the delivery callback at the far end."""
+        self.receiver = receiver
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the link; returns False if tail-dropped."""
+        if not self.up:
+            self.stats.overflow_drops += 1
+            return False
+        self.stats.sent += 1
+        if not self.queue.try_enqueue(packet):
+            self.stats.overflow_drops += 1
+            return False
+        if self._serving is None:
+            self._start_next()
+        return True
+
+    # ------------------------------------------------------------------
+    # Internal pipeline
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._serving = None
+            return
+        self._serving = packet
+        self._begin_serialization(packet)
+
+    def _begin_serialization(self, packet: Packet) -> None:
+        rate = self.current_rate()
+        if rate <= 0:
+            # Trace outage: re-check shortly; the packet stays in service.
+            self.sim.schedule(OUTAGE_POLL_INTERVAL, self._begin_serialization, packet)
+            return
+        tx_time = transmission_time(packet.size_bytes, rate)
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._finish_serialization, packet)
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        if self.on_depart is not None:
+            self.on_depart(packet, self)
+        if self.loss.should_drop(self.rng, self.sim.now):
+            self.stats.lost += 1
+        else:
+            delay = self.current_delay()
+            arrival = self.sim.now + delay
+            # FIFO delivery even if the propagation delay just dropped.
+            if arrival <= self._last_delivery_time:
+                arrival = self._last_delivery_time + 1e-9
+            self._last_delivery_time = arrival
+            self.sim.schedule_at(arrival, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.size_bytes
+        packet.delivered_at = self.sim.now
+        if self.receiver is None:
+            raise NetworkError(f"link {self.name!r} delivered a packet but has no receiver")
+        self.receiver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} rate={self.current_rate():.0f}bps backlog={self.backlog_bytes}B>"

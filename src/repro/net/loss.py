@@ -1,0 +1,109 @@
+"""Stochastic loss processes applied by links.
+
+Loss is evaluated when a packet finishes serialization, i.e. it models the
+wireless air interface rather than buffer overflow (drop-tail handles that).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class LossModel:
+    """Interface: decide whether a departing packet is lost."""
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        raise NotImplementedError
+
+    @property
+    def long_run_rate(self) -> float:
+        """The stationary loss probability (used by steering estimators)."""
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """A perfectly reliable link (e.g. URLLC's 99.999% is modelled as 0)."""
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        return False
+
+    @property
+    def long_run_rate(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with fixed probability per packet."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"probability must be in [0, 1), got {probability}")
+        self.probability = probability
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        return rng.random() < self.probability
+
+    @property
+    def long_run_rate(self) -> float:
+        return self.probability
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.probability})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (good/bad) — the classic wireless fading model.
+
+    Parameters are per-packet transition probabilities. In the *good* state
+    packets are lost with ``good_loss``; in the *bad* state with ``bad_loss``.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.5,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if p_bad_to_good == 0.0 and p_good_to_bad > 0.0:
+            raise ValueError("bad state would be absorbing (p_bad_to_good=0)")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._in_bad_state = False
+
+    def should_drop(self, rng: random.Random, now: float) -> bool:
+        if self._in_bad_state:
+            if rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss = self.bad_loss if self._in_bad_state else self.good_loss
+        return rng.random() < loss
+
+    @property
+    def long_run_rate(self) -> float:
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.good_loss
+        pi_bad = self.p_good_to_bad / denom
+        return pi_bad * self.bad_loss + (1 - pi_bad) * self.good_loss
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(g2b={self.p_good_to_bad}, b2g={self.p_bad_to_good}, "
+            f"good={self.good_loss}, bad={self.bad_loss})"
+        )

@@ -1,0 +1,114 @@
+"""Periodic channel monitoring: utilization, backlog and delay time series.
+
+Experiments attach a :class:`ChannelMonitor` to sample every channel at a
+fixed period; the resulting series drive per-channel plots (e.g. "how much
+of URLLC did the background flows eat") and the utilization numbers in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.net.channel import Channel
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+@dataclass
+class ChannelSample:
+    """One instantaneous observation of one channel."""
+
+    time: float
+    up_backlog_bytes: int
+    down_backlog_bytes: int
+    up_delivered_bytes: int
+    down_delivered_bytes: int
+    up_rate_bps: float
+    down_rate_bps: float
+    base_rtt: float
+
+
+@dataclass
+class ChannelSeries:
+    """All samples for one channel plus derived summaries."""
+
+    name: str
+    samples: List[ChannelSample] = field(default_factory=list)
+
+    def utilization(self, direction: str = "down") -> float:
+        """Mean fraction of capacity carried between first and last sample.
+
+        Uses delivered-byte deltas against the instantaneous rate at each
+        sample, so it remains meaningful for trace-driven channels.
+        """
+        if direction not in ("up", "down"):
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+        if len(self.samples) < 2:
+            return 0.0
+        used = 0.0
+        possible = 0.0
+        for prev, curr in zip(self.samples, self.samples[1:]):
+            dt = curr.time - prev.time
+            if dt <= 0:
+                continue
+            if direction == "down":
+                used += (curr.down_delivered_bytes - prev.down_delivered_bytes) * 8
+                possible += prev.down_rate_bps * dt
+            else:
+                used += (curr.up_delivered_bytes - prev.up_delivered_bytes) * 8
+                possible += prev.up_rate_bps * dt
+        return used / possible if possible > 0 else 0.0
+
+    def peak_backlog_bytes(self, direction: str = "down") -> int:
+        if not self.samples:
+            return 0
+        if direction == "down":
+            return max(s.down_backlog_bytes for s in self.samples)
+        return max(s.up_backlog_bytes for s in self.samples)
+
+    def backlog_series(self, direction: str = "down") -> List[tuple]:
+        key = "down_backlog_bytes" if direction == "down" else "up_backlog_bytes"
+        return [(s.time, getattr(s, key)) for s in self.samples]
+
+
+class ChannelMonitor:
+    """Samples a set of channels on a fixed period."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channels: Sequence[Channel],
+        period: float = 0.1,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.channels = list(channels)
+        self.series: Dict[str, ChannelSeries] = {
+            channel.name: ChannelSeries(name=channel.name) for channel in self.channels
+        }
+        self._timer = PeriodicTimer(sim, period, self._sample, start_delay=0.0)
+
+    def _sample(self) -> None:
+        for channel in self.channels:
+            self.series[channel.name].samples.append(
+                ChannelSample(
+                    time=self.sim.now,
+                    up_backlog_bytes=channel.uplink.backlog_bytes,
+                    down_backlog_bytes=channel.downlink.backlog_bytes,
+                    up_delivered_bytes=channel.uplink.stats.bytes_delivered,
+                    down_delivered_bytes=channel.downlink.stats.bytes_delivered,
+                    up_rate_bps=channel.uplink.current_rate(),
+                    down_rate_bps=channel.downlink.current_rate(),
+                    base_rtt=channel.base_rtt(),
+                )
+            )
+
+    def stop(self) -> None:
+        """Stop sampling (existing series remain readable)."""
+        self._timer.stop()
+
+    def __getitem__(self, channel_name: str) -> ChannelSeries:
+        return self.series[channel_name]

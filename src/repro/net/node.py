@@ -1,0 +1,261 @@
+"""Hosts: the multi-channel device that flows and steering share.
+
+Each endpoint owns a :class:`Device`. Flows (transport connections, datagram
+sockets) register a per-flow delivery handler and call :meth:`Device.send`;
+the device consults its steering policy for every packet — this shared
+vantage point is what lets one policy arbitrate URLLC capacity across
+competing flows (the Table 1 experiment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import NetworkError, SteeringError
+from repro.net.channel import Channel
+from repro.net.packet import Packet, PacketType
+from repro.net.resequencer import DEFAULT_HOLD_TIMEOUT, Resequencer
+from repro.sim.kernel import Simulator
+from repro.units import transmission_time
+
+#: Per-flow window of remembered packet ids for redundancy de-duplication.
+DEDUP_WINDOW = 4096
+
+
+class ChannelView:
+    """A host-side, read-only view of one channel's state.
+
+    Steering policies receive a list of these; everything they may legally
+    observe (DChannel's deployment model: local queues plus advertised
+    channel characteristics) is exposed here.
+    """
+
+    def __init__(self, channel: Channel, end: int) -> None:
+        self._channel = channel
+        self._end = end
+
+    @property
+    def index(self) -> int:
+        return self._channel.index
+
+    @property
+    def name(self) -> str:
+        return self._channel.spec.name
+
+    @property
+    def up(self) -> bool:
+        return self._channel.up
+
+    @property
+    def cost_per_byte(self) -> float:
+        return self._channel.spec.cost_per_byte
+
+    @property
+    def reliable(self) -> bool:
+        return self._channel.spec.reliable
+
+    @property
+    def rate_bps(self) -> float:
+        """Current outbound serialization rate."""
+        return self._channel.out_link(self._end).current_rate()
+
+    @property
+    def base_delay(self) -> float:
+        """Current outbound propagation delay."""
+        return self._channel.out_link(self._end).current_delay()
+
+    @property
+    def base_rtt(self) -> float:
+        return self._channel.base_rtt()
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Outbound bytes queued or in service on this host's side."""
+        return self._channel.out_link(self._end).backlog_bytes
+
+    @property
+    def loss_rate(self) -> float:
+        """Stationary outbound loss probability."""
+        return self._channel.out_link(self._end).loss.long_run_rate
+
+    def queueing_delay(self, extra_bytes: int = 0) -> float:
+        """Estimated wait before ``extra_bytes`` would finish serializing."""
+        rate = self.rate_bps
+        if rate <= 0:
+            return float("inf")
+        return transmission_time(self.backlog_bytes + extra_bytes, rate)
+
+    def estimated_delivery_delay(self, packet_bytes: int) -> float:
+        """One-way delay estimate for a packet offered right now.
+
+        This is the quantity DChannel's reward heuristic compares across
+        channels: local queueing + serialization + propagation.
+        """
+        return self.queueing_delay(packet_bytes) + self.base_delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChannelView {self.index}:{self.name} backlog={self.backlog_bytes}B>"
+
+
+@dataclass
+class DeviceStats:
+    """Lifetime counters for one device."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+    duplicates_discarded: int = 0
+    send_drops: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class Device:
+    """One host's attachment to a set of channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "host",
+        resequence: bool = True,
+        resequence_timeout: float = DEFAULT_HOLD_TIMEOUT,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.channels: List[Channel] = []
+        self.views: List[ChannelView] = []
+        self.end: int = 0
+        self.steerer: Optional[object] = None
+        self.stats = DeviceStats()
+        self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        self._default_handler: Optional[Callable[[Packet], None]] = None
+        self._seen: Dict[int, set] = {}
+        self._seen_order: Dict[int, deque] = {}
+        #: Shim resequencing (see :mod:`repro.net.resequencer`): restores
+        #: per-flow order for reliable DATA packets split across channels.
+        self.resequencer: Optional[Resequencer] = (
+            Resequencer(sim, self._dispatch, timeout=resequence_timeout)
+            if resequence
+            else None
+        )
+        self._shim_seq: Dict[int, int] = {}
+        self._shim_channels: Dict[int, set] = {}
+        #: Instrumentation hooks: fn(packet, channel_index).
+        self.on_send_hooks: List[Callable[[Packet, int], None]] = []
+        self.on_receive_hooks: List[Callable[[Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, channels: Sequence[Channel], end: int) -> None:
+        """Connect this device to ``channels`` as side ``end`` (0=A, 1=B)."""
+        self.channels = list(channels)
+        self.end = end
+        self.views = [ChannelView(ch, end) for ch in self.channels]
+        for channel in self.channels:
+            channel.in_link(end).connect(self._on_link_deliver)
+
+    def set_steerer(self, steerer: object) -> None:
+        """Install the steering policy (anything with ``choose``)."""
+        self.steerer = steerer
+
+    def register_flow(self, flow_id: int, handler: Callable[[Packet], None]) -> None:
+        """Route delivered packets of ``flow_id`` to ``handler``."""
+        if flow_id in self._handlers:
+            raise NetworkError(f"flow {flow_id} already registered on {self.name}")
+        self._handlers[flow_id] = handler
+
+    def unregister_flow(self, flow_id: int) -> None:
+        """Remove a flow's handler; late packets go to the default handler."""
+        self._handlers.pop(flow_id, None)
+
+    def set_default_handler(self, handler: Callable[[Packet], None]) -> None:
+        """Handler for packets whose flow is not registered."""
+        self._default_handler = handler
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Steer and transmit one packet (possibly onto several channels)."""
+        if not self.channels:
+            raise NetworkError(f"device {self.name} has no channels attached")
+        if packet.channel_hint is not None:
+            # A channel-aware transport (multipath subflow) owns placement.
+            choices: Sequence[int] = (packet.channel_hint,)
+        elif self.steerer is None:
+            choices = (0,)
+        else:
+            choices = self.steerer.choose(packet, self.views, self.sim.now)
+        if not choices:
+            raise SteeringError(
+                f"steering policy returned no channel for packet {packet.packet_id}"
+            )
+        packet.sent_at = self.sim.now
+        # Channel-aware transports (channel_hint set) do their own
+        # reassembly; the shim resequencer only protects legacy
+        # single-sequence transports from cross-channel reordering.
+        if (
+            self.resequencer is not None
+            and packet.ptype == PacketType.DATA
+            and packet.channel_hint is None
+        ):
+            seq = self._shim_seq.get(packet.flow_id, 0)
+            packet.shim_seq = seq
+            self._shim_seq[packet.flow_id] = seq + 1
+            used = self._shim_channels.setdefault(packet.flow_id, set())
+            used.update(choices)
+            packet.shim_channel_count = len(used)
+        for copy_index, channel_index in enumerate(choices):
+            self._transmit(packet, channel_index, copy_index)
+
+    def _transmit(self, packet: Packet, channel_index: int, copy_index: int) -> None:
+        if not 0 <= channel_index < len(self.channels):
+            raise SteeringError(
+                f"steering chose channel {channel_index}, device has {len(self.channels)}"
+            )
+        outgoing = packet if copy_index == 0 else packet.copy_for_redundancy(copy_index)
+        outgoing.channel_index = channel_index
+        channel = self.channels[channel_index]
+        channel.cost_bytes += outgoing.size_bytes
+        accepted = channel.out_link(self.end).send(outgoing)
+        if accepted:
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += outgoing.size_bytes
+            for hook in self.on_send_hooks:
+                hook(outgoing, channel_index)
+        else:
+            self.stats.send_drops += 1
+
+    def _on_link_deliver(self, packet: Packet) -> None:
+        if self._is_duplicate(packet):
+            self.stats.duplicates_discarded += 1
+            return
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.size_bytes
+        if self.resequencer is not None and packet.ptype == PacketType.DATA:
+            self.resequencer.push(packet)
+        else:
+            self._dispatch(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
+        for hook in self.on_receive_hooks:
+            hook(packet)
+        handler = self._handlers.get(packet.flow_id, self._default_handler)
+        if handler is not None:
+            handler(packet)
+
+    def _is_duplicate(self, packet: Packet) -> bool:
+        seen = self._seen.setdefault(packet.flow_id, set())
+        order = self._seen_order.setdefault(packet.flow_id, deque())
+        if packet.packet_id in seen:
+            return True
+        seen.add(packet.packet_id)
+        order.append(packet.packet_id)
+        if len(order) > DEDUP_WINDOW:
+            seen.discard(order.popleft())
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.name} end={self.end} channels={len(self.channels)}>"

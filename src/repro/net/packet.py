@@ -1,0 +1,140 @@
+"""Packets and the cross-layer tags they may carry.
+
+A packet is the unit handed from the transport (or a datagram application)
+to the device, steered onto a channel, and delivered to the peer device.
+
+Cross-layer fields (``message_id``, ``message_priority``, ``message_last``,
+``flow_priority``) are *optional tags*: network-layer steering policies must
+work when they are ``None`` (the DChannel deployment model); cross-layer
+policies read them. This mirrors the paper's argument that a general design
+should exploit application hints when present but not require them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.units import DEFAULT_HEADER_BYTES
+
+_packet_ids = itertools.count()
+
+
+class PacketType(enum.Enum):
+    """Coarse classification used by steering heuristics.
+
+    ``ACK`` means a *pure* acknowledgement (no payload); an ACK piggybacked
+    on data is just ``DATA`` — the distinction matters because DChannel-style
+    policies accelerate small control packets.
+    """
+
+    DATA = "data"
+    ACK = "ack"
+    SYN = "syn"
+    FIN = "fin"
+    PROBE = "probe"
+    DATAGRAM = "datagram"
+
+    @property
+    def is_control(self) -> bool:
+        """True for packets that carry protocol control, not payload."""
+        return self in (PacketType.ACK, PacketType.SYN, PacketType.FIN, PacketType.PROBE)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``size_bytes`` is the on-the-wire size (headers included) used for
+    serialization and queueing; ``payload_bytes`` is the application/transport
+    payload carried.
+    """
+
+    flow_id: int
+    ptype: PacketType
+    payload_bytes: int = 0
+    header_bytes: int = DEFAULT_HEADER_BYTES
+
+    # Transport bookkeeping (meaning is transport-specific).
+    seq: int = 0
+    end_seq: int = 0
+    ack_seq: int = 0
+    #: Selective-ACK ranges carried by pure ACKs: ((start, end), ...).
+    sack: tuple = ()
+    is_retransmission: bool = False
+    #: Opaque reference back to the transport's segment record, if any.
+    segment: Optional[object] = None
+
+    # Cross-layer tags (optional; see module docstring).
+    message_id: Optional[int] = None
+    message_priority: Optional[int] = None
+    #: True when this is the final packet of its message.
+    message_last: bool = False
+    #: Stream offset where this packet's message begins (reliable transport).
+    message_start: Optional[int] = None
+    #: Flow-level priority; lower value = more important. None = untagged.
+    flow_priority: Optional[int] = None
+    #: Channel index requested by a channel-aware transport (multipath
+    #: subflows own their channel); bypasses the device's steering policy.
+    channel_hint: Optional[int] = None
+
+    # Filled in by the device / links.
+    #: Shim-level per-flow sequence number used for cross-channel
+    #: resequencing at the receiving device (DChannel's reorder buffer).
+    shim_seq: Optional[int] = None
+    #: How many distinct channels this flow's data has used so far, stamped
+    #: by the sending shim. The receiver's FIFO loss proof needs delivery
+    #: evidence from that many channels before declaring a hole lost.
+    shim_channel_count: int = 1
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    sent_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+    channel_index: Optional[int] = None
+    #: Incremented each time a redundant copy is made (original is 0).
+    copy_index: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size: payload plus header overhead."""
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def is_control(self) -> bool:
+        """Whether steering should treat this as a control packet."""
+        return self.ptype.is_control and self.payload_bytes == 0
+
+    def copy_for_redundancy(self, copy_index: int) -> "Packet":
+        """Duplicate this packet for replication across channels.
+
+        The copy shares ``packet_id`` (so the receiving device can
+        de-duplicate) but gets its own delivery bookkeeping.
+        """
+        clone = Packet(
+            flow_id=self.flow_id,
+            ptype=self.ptype,
+            payload_bytes=self.payload_bytes,
+            header_bytes=self.header_bytes,
+            seq=self.seq,
+            end_seq=self.end_seq,
+            ack_seq=self.ack_seq,
+            is_retransmission=self.is_retransmission,
+            segment=self.segment,
+            message_id=self.message_id,
+            message_priority=self.message_priority,
+            message_last=self.message_last,
+            message_start=self.message_start,
+            flow_priority=self.flow_priority,
+        )
+        clone.packet_id = self.packet_id
+        clone.created_at = self.created_at
+        clone.copy_index = copy_index
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} flow={self.flow_id} {self.ptype.value}"
+            f" seq={self.seq} {self.size_bytes}B ch={self.channel_index}>"
+        )

@@ -1,0 +1,160 @@
+"""Receiver-side resequencing buffer (DChannel's shim reorder protection).
+
+Splitting one flow's packets across channels with very different delays
+re-orders them, and a SACK-based transport misreads the resulting holes as
+loss. DChannel's shim therefore restores per-flow order at the receiver
+before handing packets up, holding early arrivals until their predecessors
+land or a timeout expires (the predecessor was genuinely lost).
+
+Only in-order transports need this, so the device applies it to reliable
+DATA packets; pure control packets (cumulative ACKs are order-tolerant) and
+real-time datagrams bypass the buffer — holding them would destroy exactly
+the acceleration steering buys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+DEFAULT_HOLD_TIMEOUT = 0.08
+#: Safety valve: flush if a flow accumulates this many held packets.
+MAX_HELD_PACKETS = 2048
+
+
+class Resequencer:
+    """Per-flow in-order delivery with a hold timeout."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: Callable[[Packet], None],
+        timeout: float = DEFAULT_HOLD_TIMEOUT,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.sim = sim
+        self.deliver = deliver
+        self.timeout = timeout
+        self._expected: Dict[int, int] = {}
+        #: flow → {shim_seq: (packet, deadline)}
+        self._held: Dict[int, Dict[int, Tuple[Packet, float]]] = {}
+        #: flow → channel → highest shim_seq delivered on that channel.
+        #: Channels are FIFO, so once *every* channel a flow uses has
+        #: delivered beyond seq s, a missing s is provably lost and its
+        #: hole can be flushed immediately instead of waiting out the
+        #: timeout (the timeout remains as a backstop for idle channels).
+        self._chan_max: Dict[int, Dict[int, int]] = {}
+        #: flow → channel count advertised by the sender's shim; the FIFO
+        #: proof needs delivery evidence from this many channels.
+        self._chan_count: Dict[int, int] = {}
+        self._flush_events: Dict[int, Event] = {}
+        self.packets_held = 0
+        self.timeout_flushes = 0
+
+    def push(self, packet: Packet) -> None:
+        """Offer a packet; it is delivered now or once order permits."""
+        if packet.shim_seq is None:
+            self.deliver(packet)
+            return
+        flow = packet.flow_id
+        if packet.channel_index is not None:
+            marks = self._chan_max.setdefault(flow, {})
+            previous = marks.get(packet.channel_index, -1)
+            marks[packet.channel_index] = max(previous, packet.shim_seq)
+        self._chan_count[flow] = max(
+            self._chan_count.get(flow, 1), packet.shim_channel_count
+        )
+        expected = self._expected.get(flow, 0)
+        if packet.shim_seq < expected:
+            # A straggler whose hole was already flushed: pass it through.
+            self.deliver(packet)
+            return
+        held = self._held.setdefault(flow, {})
+        if packet.shim_seq in held:
+            return  # duplicate copy of a held packet
+        if packet.shim_seq == expected:
+            self.deliver(packet)
+            self._expected[flow] = expected + 1
+            self._drain(flow)
+        else:
+            self.packets_held += 1
+            held[packet.shim_seq] = (packet, self.sim.now + self.timeout)
+            if len(held) > MAX_HELD_PACKETS:
+                self._flush_through(flow, min(held))
+            self._flush_proven_losses(flow)
+            self._schedule_flush(flow)
+
+    # ------------------------------------------------------------------
+    def _flush_proven_losses(self, flow: int) -> None:
+        """Flush holes below every channel's delivery high-water mark.
+
+        Valid only once every channel the sender's shim has used for this
+        flow has delivered something — a channel with no deliveries yet may
+        still be carrying the missing packets.
+        """
+        marks = self._chan_max.get(flow)
+        if not marks or len(marks) < self._chan_count.get(flow, 1):
+            return
+        safe = min(marks.values())
+        if self._expected.get(flow, 0) <= safe:
+            self._flush_through(flow, safe)
+
+    def _drain(self, flow: int) -> None:
+        held = self._held.get(flow)
+        if not held:
+            return
+        expected = self._expected.get(flow, 0)
+        while expected in held:
+            packet, _ = held.pop(expected)
+            self.deliver(packet)
+            expected += 1
+        self._expected[flow] = expected
+        self._reschedule_flush(flow)
+
+    def _schedule_flush(self, flow: int) -> None:
+        if flow in self._flush_events:
+            return
+        deadline = self._earliest_deadline(flow)
+        if deadline is not None:
+            self._flush_events[flow] = self.sim.schedule_at(
+                deadline, self._on_flush_timer, flow
+            )
+
+    def _reschedule_flush(self, flow: int) -> None:
+        event = self._flush_events.pop(flow, None)
+        if event is not None:
+            self.sim.cancel(event)
+        self._schedule_flush(flow)
+
+    def _earliest_deadline(self, flow: int) -> Optional[float]:
+        held = self._held.get(flow)
+        if not held:
+            return None
+        return min(deadline for _, deadline in held.values())
+
+    def _on_flush_timer(self, flow: int) -> None:
+        self._flush_events.pop(flow, None)
+        held = self._held.get(flow)
+        if not held:
+            return
+        expired = [
+            seq for seq, (_, deadline) in held.items() if deadline <= self.sim.now
+        ]
+        if expired:
+            self.timeout_flushes += 1
+            self._flush_through(flow, max(expired))
+        self._schedule_flush(flow)
+
+    def _flush_through(self, flow: int, seq: int) -> None:
+        """Give up on holes at or below ``seq``; deliver held packets in order."""
+        held = self._held.get(flow, {})
+        ready = sorted(s for s in held if s <= seq)
+        for s in ready:
+            packet, _ = held.pop(s)
+            self.deliver(packet)
+        self._expected[flow] = max(self._expected.get(flow, 0), seq + 1)
+        self._drain(flow)

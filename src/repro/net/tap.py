@@ -1,0 +1,102 @@
+"""Packet taps: pcap-style event capture for debugging and analysis.
+
+A :class:`PacketTap` subscribes to a device's send/receive hooks (and the
+channels' departure hooks) and records one event row per packet milestone.
+Records are plain dicts, exportable as JSON Lines, so steering decisions
+can be audited after a run::
+
+    tap = PacketTap(net)
+    net.run(until=5.0)
+    urllc_acks = [e for e in tap.events
+                  if e["event"] == "send" and e["channel"] == 1
+                  and e["ptype"] == "ack"]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packet import Packet
+
+
+class PacketTap:
+    """Records packet events from an :class:`~repro.core.api.HvcNetwork`.
+
+    ``predicate`` (if given) filters which packets are recorded; use it to
+    keep long captures small (e.g. ``lambda p: p.flow_id == 7``).
+    """
+
+    def __init__(
+        self,
+        net,
+        predicate: Optional[Callable[[Packet], bool]] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.net = net
+        self.predicate = predicate
+        self.max_events = max_events
+        self.events: List[Dict] = []
+        self.dropped_records = 0
+        net.client.on_send_hooks.append(self._sender("client"))
+        net.server.on_send_hooks.append(self._sender("server"))
+        net.client.on_receive_hooks.append(self._receiver("client"))
+        net.server.on_receive_hooks.append(self._receiver("server"))
+
+    # ------------------------------------------------------------------
+    def _record(self, event: str, host: str, packet: Packet, channel=None) -> None:
+        if self.predicate is not None and not self.predicate(packet):
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_records += 1
+            return
+        self.events.append(
+            {
+                "time": self.net.now,
+                "event": event,
+                "host": host,
+                "packet_id": packet.packet_id,
+                "flow": packet.flow_id,
+                "ptype": packet.ptype.value,
+                "bytes": packet.size_bytes,
+                "seq": packet.seq,
+                "channel": channel if channel is not None else packet.channel_index,
+                "message_id": packet.message_id,
+                "message_priority": packet.message_priority,
+                "flow_priority": packet.flow_priority,
+                "retransmission": packet.is_retransmission,
+            }
+        )
+
+    def _sender(self, host: str):
+        return lambda packet, channel: self._record("send", host, packet, channel)
+
+    def _receiver(self, host: str):
+        return lambda packet: self._record("receive", host, packet)
+
+    # ------------------------------------------------------------------
+    def flows(self) -> List[int]:
+        """Flow ids seen, sorted."""
+        return sorted({e["flow"] for e in self.events})
+
+    def channel_share(self, event: str = "send") -> Dict[int, int]:
+        """Bytes per channel for the given event type."""
+        share: Dict[int, int] = {}
+        for record in self.events:
+            if record["event"] == event and record["channel"] is not None:
+                share[record["channel"]] = share.get(record["channel"], 0) + record["bytes"]
+        return share
+
+    def to_jsonl(self) -> str:
+        """All events as JSON Lines."""
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write events to ``path``; returns the record count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            if self.events:
+                handle.write("\n")
+        return len(self.events)

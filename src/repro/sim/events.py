@@ -1,0 +1,94 @@
+"""Event objects and the pending-event queue.
+
+The queue is a binary heap keyed on ``(time, sequence_number)``. The sequence
+number is a monotonically increasing insertion counter, which gives FIFO
+ordering among events scheduled for the same instant — a requirement for
+deterministic replay.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.kernel.Simulator.schedule`
+    rather than directly. Holding a reference allows cancellation via
+    :meth:`cancel`; a cancelled event stays in the heap but is skipped when
+    popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it. Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy deletion of cancelled events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Insert a new event and return it (for possible cancellation)."""
+        event = Event(time, self._next_seq, callback, args)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def notify_cancelled(self) -> None:
+        """Account for one externally cancelled event (bookkeeping only)."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

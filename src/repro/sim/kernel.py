@@ -1,0 +1,112 @@
+"""The simulator: a single clock driving an event queue.
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(0.5, fire_probe)
+    sim.run(until=60.0)
+
+Components receive the simulator at construction time and schedule their own
+callbacks; nothing in the library spawns threads or sleeps on wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in seconds. Starts at 0.0 and only moves
+        forward.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stop_requested = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, current time is {self.now:.6f}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event. Safe to call more than once."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.notify_cancelled()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in order until the queue drains or limits are hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. The clock is advanced
+            to ``until`` even if no event fires exactly then, so repeated
+            ``run(until=...)`` calls behave like contiguous epochs.
+        max_events:
+            Safety valve for runaway event cascades in tests.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stop_requested = False
+        processed_this_run = 0
+        try:
+            while self._queue and not self._stop_requested:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.callback(*event.args)
+                self.events_processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+            if until is not None and until > self.now and not self._stop_requested:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current ``run`` to return after the active event."""
+        self._stop_requested = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now:.6f} pending={self.pending_events}>"

@@ -1,0 +1,72 @@
+"""Simulation-time-aware logging.
+
+Standard :mod:`logging` records wall-clock time, which is meaningless
+inside a simulation. :func:`get_logger` returns a logger whose records
+carry the simulator clock, formatted as ``[   1.234567s] component: msg``.
+
+Logging is off by default (WARNING level) so experiments run silently;
+enable per-component tracing with::
+
+    from repro.sim.logging import get_logger, set_level
+    set_level("DEBUG")
+    log = get_logger(sim, "transport.cc")
+    log.debug("cwnd %.0f", cwnd)
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+
+ROOT_NAME = "repro"
+_configured = False
+
+
+class SimTimeFilter(logging.Filter):
+    """Injects the simulator clock into every record as ``sim_time``."""
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__()
+        self.sim = sim
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.sim_time = self.sim.now
+        return True
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("[%(sim_time)12.6fs] %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(sim: Simulator, component: str) -> logging.Logger:
+    """A logger for ``component`` stamped with ``sim``'s clock."""
+    _configure_root()
+    logger = logging.getLogger(f"{ROOT_NAME}.{component}")
+    # Replace any stale filter from a previous simulator instance.
+    for existing in list(logger.filters):
+        if isinstance(existing, SimTimeFilter):
+            logger.removeFilter(existing)
+    logger.addFilter(SimTimeFilter(sim))
+    return logger
+
+
+def set_level(level: str) -> None:
+    """Set the library-wide log level by name ('DEBUG', 'INFO', ...)."""
+    _configure_root()
+    numeric: Optional[int] = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logging.getLogger(ROOT_NAME).setLevel(numeric)

@@ -1,0 +1,61 @@
+"""Steering policy interface and shared helpers.
+
+A policy receives the packet (with whatever cross-layer tags the sender
+attached), the host's per-channel views, and the current time, and returns
+the channel indices to transmit on — usually one; several for replication.
+
+The view list is the policy's *entire* knowledge of the network, mirroring
+what a deployable shim could observe: local queue backlogs plus advertised
+channel characteristics. Policies must tolerate untagged packets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SteeringError
+from repro.net.node import ChannelView
+from repro.net.packet import Packet
+
+
+class Steerer:
+    """Base class for steering policies."""
+
+    name = "base"
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        """Return the channel index/indices for ``packet``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+def up_views(views: Sequence[ChannelView]) -> List[ChannelView]:
+    """Only the administratively-up channels; error when none remain."""
+    alive = [view for view in views if view.up]
+    if not alive:
+        raise SteeringError("no channel is up")
+    return alive
+
+
+def lowest_latency(views: Sequence[ChannelView]) -> ChannelView:
+    """The channel with the smallest base (propagation) delay."""
+    return min(up_views(views), key=lambda v: v.base_delay)
+
+
+def highest_bandwidth(views: Sequence[ChannelView]) -> ChannelView:
+    """The channel with the highest current rate."""
+    return max(up_views(views), key=lambda v: v.rate_bps)
+
+
+def most_reliable(views: Sequence[ChannelView]) -> ChannelView:
+    """Prefer channels flagged reliable, then lowest loss rate."""
+    return min(up_views(views), key=lambda v: (not v.reliable, v.loss_rate))
+
+
+def best_delivery(views: Sequence[ChannelView], size_bytes: int) -> ChannelView:
+    """The channel minimizing the one-way delivery-delay estimate."""
+    return min(
+        up_views(views), key=lambda v: v.estimated_delivery_delay(size_bytes)
+    )

@@ -1,0 +1,86 @@
+"""Latency-vs-cost steering under a monetary budget (§3.1, cISP-style).
+
+A cISP microwave channel is faster than fiber but bills per byte. This
+policy steers a packet onto a priced channel only when
+
+* the estimated delivery-time saving justifies the price
+  (``price ≤ max_price_per_second_saved × seconds_saved``), and
+* a token-bucket budget (currency refilled at ``budget_per_s``) can cover it.
+
+Free channels are always permitted; among them the best delay estimate
+wins, so with the budget exhausted the policy degrades to minRTT over the
+free channels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.node import ChannelView
+from repro.net.packet import Packet
+from repro.steering.base import Steerer, up_views
+from repro.steering.util import TokenBucket
+
+
+class CostAwareSteerer(Steerer):
+    """Budgeted use of priced low-latency channels."""
+
+    name = "cost-aware"
+
+    def __init__(
+        self,
+        budget_per_s: float = 0.01,
+        burst: float = 0.05,
+        max_price_per_second_saved: float = 1.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        budget_per_s:
+            Currency that accrues per second of wall-clock (sim) time.
+        burst:
+            Budget cap (currency) — how much may be spent in a burst.
+        max_price_per_second_saved:
+            Willingness to pay: a packet may spend at most this much
+            currency per second of delivery time it saves.
+        """
+        if max_price_per_second_saved < 0:
+            raise ValueError(
+                f"max_price_per_second_saved must be >= 0, got {max_price_per_second_saved}"
+            )
+        self.bucket = TokenBucket(budget_per_s, burst)
+        self.max_price_per_second_saved = max_price_per_second_saved
+        #: Total currency spent (for reporting).
+        self.spent = 0.0
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        free = [v for v in alive if v.cost_per_byte == 0.0]
+        priced = [v for v in alive if v.cost_per_byte > 0.0]
+        if not free:
+            # Everything is billed; pick the cheapest delivery, budget willing.
+            best = min(alive, key=lambda v: v.estimated_delivery_delay(packet.size_bytes))
+            price = best.cost_per_byte * packet.size_bytes
+            if self.bucket.try_spend(price, now):
+                self.spent += price
+            return (best.index,)
+
+        best_free = min(free, key=lambda v: v.estimated_delivery_delay(packet.size_bytes))
+        if not priced:
+            return (best_free.index,)
+
+        d_free = best_free.estimated_delivery_delay(packet.size_bytes)
+        best_priced = min(
+            priced, key=lambda v: v.estimated_delivery_delay(packet.size_bytes)
+        )
+        d_priced = best_priced.estimated_delivery_delay(packet.size_bytes)
+        saved = d_free - d_priced
+        if saved <= 0:
+            return (best_free.index,)
+        price = best_priced.cost_per_byte * packet.size_bytes
+        if price <= self.max_price_per_second_saved * saved and self.bucket.try_spend(
+            price, now
+        ):
+            self.spent += price
+            return (best_priced.index,)
+        return (best_free.index,)

@@ -1,0 +1,112 @@
+"""DChannel's network-layer per-packet steering heuristic (§3.1).
+
+DChannel (Sentosa et al., NSDI '23) steers each IP packet to whichever
+channel is estimated to deliver it *sooner*, using only sender-local state:
+per-channel queue backlog, serialization rate, and base delay. The *reward*
+of the low-latency channel is the delivery-time saving; the *cost* is
+implicit — once its shallow queue builds, its estimate loses and traffic
+falls back to the high-bandwidth channel.
+
+Control packets (pure ACKs, SYNs) are given a head start: DChannel found
+much of its win comes from accelerating them, which is also what poisons
+delay-based congestion control (Fig. 1).
+
+The policy is deliberately application-blind: it never reads message or
+flow tags. Its two cross-layer extensions live in
+:mod:`repro.steering.priority` and :mod:`repro.steering.flow_priority`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from typing import Dict
+
+from repro.net.node import ChannelView
+from repro.net.packet import Packet, PacketType
+from repro.steering.base import Steerer, lowest_latency, up_views
+
+
+class DChannelSteerer(Steerer):
+    """Reward/cost per-packet steering between an LL and an HB channel.
+
+    A packet is steered to the low-latency channel only when
+
+    1. **reward** — its delivery-delay estimate there beats the
+       high-bandwidth channel's by ``savings_threshold``, and
+    2. **cost** — the LL queue it would join is still "paying for itself":
+       queueing there must not exceed ``queue_cap_factor ×`` the base-delay
+       gap between the channels. Without this bound a greedy comparison
+       chases the HB channel's bloated buffer and dumps *bulk* traffic onto
+       the narrow channel, which is precisely what DChannel's cost term
+       prevents — the LL channel accelerates packets, it does not add
+       meaningful bandwidth.
+
+    Control packets get a more generous cap (``control_cap_factor``):
+    DChannel's gains come substantially from accelerating ACKs and other
+    small control messages.
+    """
+
+    name = "dchannel"
+
+    def __init__(
+        self,
+        savings_threshold: float = 0.0,
+        accelerate_control: bool = True,
+        queue_cap_factor: float = 1.0,
+        control_cap_factor: float = 3.0,
+    ) -> None:
+        if savings_threshold < 0:
+            raise ValueError(f"savings_threshold must be >= 0, got {savings_threshold}")
+        if queue_cap_factor <= 0 or control_cap_factor <= 0:
+            raise ValueError("queue cap factors must be positive")
+        self.savings_threshold = savings_threshold
+        self.accelerate_control = accelerate_control
+        self.queue_cap_factor = queue_cap_factor
+        self.control_cap_factor = control_cap_factor
+        #: flow → estimated arrival time of its newest HB-routed DATA packet.
+        #: Reliable streams are delivered in order (the receiving shim
+        #: resequences), so steering a DATA packet to the LL channel while
+        #: same-flow predecessors sit in the HB queue buys nothing — it will
+        #: be held on arrival. DChannel's reward therefore discounts the LL
+        #: delivery time by the predecessors' arrival estimate.
+        self._hb_arrival: Dict[int, float] = {}
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        if len(alive) == 1:
+            return (alive[0].index,)
+        ll = lowest_latency(alive)
+        others = [v for v in alive if v.index != ll.index]
+        # The bandwidth role goes to the highest-rate remaining channel.
+        # Choosing it by instantaneous delay instead is a myopic trap with
+        # 3+ channels: an idle narrow path (e.g. LEO) out-bids the fat one
+        # until its queue builds, pinning bulk to the wrong channel while
+        # the fat pipe idles. (With two channels the two rules coincide —
+        # DChannel itself is a two-channel design, §4.)
+        hb = max(others, key=lambda v: v.rate_bps)
+
+        d_ll = ll.estimated_delivery_delay(packet.size_bytes)
+        d_hb = hb.estimated_delivery_delay(packet.size_bytes)
+        base_gap = max(0.0, hb.base_delay - ll.base_delay)
+        is_control = packet.is_control and self.accelerate_control
+        cap = base_gap * (
+            self.control_cap_factor if is_control else self.queue_cap_factor
+        )
+        ll_affordable = ll.queueing_delay(packet.size_bytes) <= cap
+
+        if is_control:
+            return (ll.index,) if d_ll <= d_hb and ll_affordable else (hb.index,)
+
+        effective_ll = d_ll
+        if packet.ptype == PacketType.DATA:
+            # In-order stream: effective LL delivery waits for predecessors.
+            hold_until = self._hb_arrival.get(packet.flow_id)
+            if hold_until is not None:
+                effective_ll = max(d_ll, hold_until - now)
+        if effective_ll + self.savings_threshold < d_hb and ll_affordable:
+            return (ll.index,)
+        if packet.ptype == PacketType.DATA:
+            previous = self._hb_arrival.get(packet.flow_id, 0.0)
+            self._hb_arrival[packet.flow_id] = max(previous, now + d_hb)
+        return (hb.index,)

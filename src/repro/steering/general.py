@@ -1,0 +1,98 @@
+"""The paper's concluding design, §3.3/§4: one general, performant policy.
+
+The paper distills its exploration into three constituting principles:
+
+1. **steer individual packets or segments** (not flows or objects);
+2. **use easily available application information** — flow priorities and
+   message boundaries/priorities — when present, without requiring it;
+3. **use HVC information** — latency and reliability characteristics —
+   from the channels themselves.
+
+:class:`GeneralSteerer` applies them in precedence order:
+
+* low-priority *flows* never touch the scarce low-latency channel
+  (principle 2, Table 1's background flows);
+* tagged low-priority *messages* (e.g. SVC enhancement layers) are kept
+  off the low-latency channel unconditionally; tagged top-priority
+  messages ride it whole **when they are small enough to benefit** —
+  pinning a megabyte "important" object to a 2 Mbps channel would invert
+  the gain, so size gates the promise (principle 2, Fig. 2);
+* transport-visible segment classes — pure ACKs, handshakes,
+  retransmissions, message tails, small messages — get ACK separation,
+  reliability placement and tail acceleration (principles 1 & 3);
+* everything else falls back to DChannel's delay-estimate comparison
+  (principle 1), which needs no input from anyone.
+
+The composite should never do worse than the best specialized policy on
+each of the three workloads — the paper's claim that the principles are
+compatible rather than competing (asserted in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.node import ChannelView
+from repro.net.packet import Packet
+from repro.steering.base import Steerer, highest_bandwidth, lowest_latency, up_views
+from repro.steering.transport_aware import TransportAwareSteerer
+
+#: Priority-0 messages at most this large are pinned whole to the
+#: low-latency channel (an SVC base layer is ~2 kB/frame; the 2 Mbps URLLC
+#: serializes this bound in ~50 ms, the edge of usefulness).
+PRIORITY_PIN_BYTES = 12_000
+
+
+class GeneralSteerer(Steerer):
+    """Flow filter → message priorities (size-gated) → segment classes → DChannel."""
+
+    name = "general"
+
+    def __init__(
+        self,
+        flow_cutoff: int = 0,
+        message_cutoff: int = 0,
+        pin_bytes: int = PRIORITY_PIN_BYTES,
+        savings_threshold: float = 0.0,
+    ) -> None:
+        self.flow_cutoff = flow_cutoff
+        self.message_cutoff = message_cutoff
+        self.pin_bytes = pin_bytes
+        self._segment_policy = TransportAwareSteerer()
+        self._segment_policy.inner.savings_threshold = savings_threshold
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        if len(alive) == 1:
+            return (alive[0].index,)
+        ll = lowest_latency(alive)
+        others = [v for v in alive if v.index != ll.index]
+
+        # Principle 2a: unimportant flows stay off the scarce channel.
+        if packet.flow_priority is not None and packet.flow_priority > self.flow_cutoff:
+            best = min(
+                others, key=lambda v: v.estimated_delivery_delay(packet.size_bytes)
+            )
+            return (best.index,)
+
+        # Principle 2b: message priorities, size-gated.
+        if packet.message_priority is not None:
+            if packet.message_priority > self.message_cutoff:
+                return (highest_bandwidth(others).index,)
+            if packet.ptype.value == "datagram":
+                # Real-time flows tag per-message; the whole top-priority
+                # message rides the low-latency channel (Fig. 2's policy —
+                # base layers are small by construction).
+                return (ll.index,)
+            message_size = self._message_size(packet)
+            if message_size is not None and message_size <= self.pin_bytes:
+                return (ll.index,)
+
+        # Principles 1 & 3: segment classes, then DChannel's estimate duel.
+        return self._segment_policy.choose(packet, views, now)
+
+    @staticmethod
+    def _message_size(packet: Packet) -> Optional[int]:
+        if packet.message_start is not None and packet.message_last:
+            return packet.end_seq - packet.message_start
+        return None

@@ -1,0 +1,72 @@
+"""MPTCP-style path schedulers, adapted to per-packet steering.
+
+These are the strongest *application-agnostic* prior art the paper cites:
+
+* **minRTT** (default MPTCP scheduler): send on the path with the lowest
+  current delay estimate that has capacity.
+* **ECF** (Lim et al., CoNEXT '17): like minRTT, but refuse to put a packet
+  on a slow path if waiting for the fast path to free up would deliver it
+  sooner — the classic fix for head-of-line blocking over heterogeneous
+  paths.
+
+Both are approximated at packet granularity using the local-queue delay
+estimates the views expose (the sender-side information a scheduler has).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.node import ChannelView
+from repro.net.packet import Packet
+from repro.steering.base import Steerer, up_views
+
+
+class MinRttSteerer(Steerer):
+    """Pick the channel with the lowest estimated delivery delay.
+
+    With an empty network this always prefers the low-latency channel; its
+    queue then grows until the estimate crosses the other channel's — i.e.
+    the policy load-balances on delay, indifferent to what the traffic is.
+    """
+
+    name = "min-rtt"
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        best = min(alive, key=lambda v: v.estimated_delivery_delay(packet.size_bytes))
+        return (best.index,)
+
+
+class EcfSteerer(Steerer):
+    """Earliest-Completion-First-style scheduling, per-packet approximation.
+
+    ECF's insight: when the *fast* path is momentarily busy, shunting data
+    onto the slow path often finishes *later* than simply waiting for the
+    fast path, so the slow path should only be used when it wins by a clear
+    margin. At packet granularity we express that as a bias: the slow
+    candidate must beat waiting-for-fast by factor ``beta`` (>1) before the
+    packet leaves the fast channel.
+    """
+
+    name = "ecf"
+
+    def __init__(self, beta: float = 1.5) -> None:
+        if beta < 1.0:
+            raise ValueError(f"beta must be >= 1, got {beta}")
+        self.beta = beta
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        fastest = min(alive, key=lambda v: v.base_delay)
+        others = [v for v in alive if v.index != fastest.index]
+        if not others:
+            return (fastest.index,)
+        best_other = min(
+            others, key=lambda v: v.estimated_delivery_delay(packet.size_bytes)
+        )
+        wait_for_fast = fastest.estimated_delivery_delay(packet.size_bytes)
+        alternative = best_other.estimated_delivery_delay(packet.size_bytes)
+        if alternative * self.beta < wait_for_fast:
+            return (best_other.index,)
+        return (fastest.index,)

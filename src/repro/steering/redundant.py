@@ -1,0 +1,53 @@
+"""Redundant (replicated) steering: bandwidth traded for reliability.
+
+Wi-Fi 7 MLO can transmit the same frame on two bands so that either fading
+link alone suffices (§2.2). This policy replicates selected packets across
+the ``max_copies`` lowest-latency up channels; everything else takes the
+single best channel.
+
+``mode`` selects what gets replicated:
+
+* ``"all"`` — every packet (halves usable bandwidth, maximizes reliability);
+* ``"control"`` — only pure control packets;
+* ``"priority"`` — packets whose message priority ≤ 0 (the cross-layer mix:
+  replicate what the application says it cannot lose).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SteeringError
+from repro.net.node import ChannelView
+from repro.net.packet import Packet
+from repro.steering.base import Steerer, best_delivery, up_views
+
+MODES = ("all", "control", "priority")
+
+
+class RedundantSteerer(Steerer):
+    """Replicate selected packets across channels."""
+
+    name = "redundant"
+
+    def __init__(self, mode: str = "all", max_copies: int = 2) -> None:
+        if mode not in MODES:
+            raise SteeringError(f"mode must be one of {MODES}, got {mode!r}")
+        if max_copies < 2:
+            raise SteeringError(f"max_copies must be >= 2, got {max_copies}")
+        self.mode = mode
+        self.max_copies = max_copies
+
+    def _should_replicate(self, packet: Packet) -> bool:
+        if self.mode == "all":
+            return True
+        if self.mode == "control":
+            return packet.is_control
+        return packet.message_priority is not None and packet.message_priority <= 0
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        if len(alive) > 1 and self._should_replicate(packet):
+            ranked = sorted(alive, key=lambda v: v.base_delay)
+            return tuple(v.index for v in ranked[: self.max_copies])
+        return (best_delivery(alive, packet.size_bytes).index,)

@@ -1,0 +1,40 @@
+"""Single-channel steering: the eMBB-only / URLLC-only baselines."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SteeringError
+from repro.net.node import ChannelView
+from repro.net.packet import Packet
+from repro.steering.base import Steerer
+
+
+class SingleChannelSteerer(Steerer):
+    """Every packet takes one fixed channel, by index or by name."""
+
+    name = "single"
+
+    def __init__(self, index: Optional[int] = None, channel_name: Optional[str] = None) -> None:
+        if index is None and channel_name is None:
+            index = 0
+        if index is not None and channel_name is not None:
+            raise SteeringError("give either index or channel_name, not both")
+        self.index = index
+        self.channel_name = channel_name
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        if self.index is not None:
+            if not 0 <= self.index < len(views):
+                raise SteeringError(
+                    f"single-channel steerer wants index {self.index}, "
+                    f"only {len(views)} channels exist"
+                )
+            return (self.index,)
+        for view in views:
+            if view.name == self.channel_name:
+                return (view.index,)
+        names = ", ".join(v.name for v in views)
+        raise SteeringError(
+            f"single-channel steerer wants {self.channel_name!r}; channels: {names}"
+        )

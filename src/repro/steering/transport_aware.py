@@ -1,0 +1,107 @@
+"""Transport-layer segment steering (§3.2).
+
+Operating inside the transport (rather than as a packet shim) unlocks three
+moves the paper highlights:
+
+* **ACK separation** — a pure ACK always takes the low-latency channel,
+  even when data would be "tacked onto" it at the network layer and pushed
+  to eMBB by its size.
+* **End-of-message acceleration** — the *final* segments of a message are
+  what the application is blocked on; steering them (and only them) onto
+  the low-latency channel avoids head-of-line blocking without flooding it.
+* **Control reliability** — handshake/retransmitted segments, whose loss is
+  disproportionately expensive, prefer a channel with a reliability
+  guarantee when one exists.
+
+Bulk data falls through to a DChannel-style delay comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.node import ChannelView
+from repro.net.packet import Packet, PacketType
+from repro.steering.base import Steerer, lowest_latency, up_views
+from repro.steering.dchannel import DChannelSteerer
+
+
+class TransportAwareSteerer(Steerer):
+    """Segment-class-aware steering using transport-visible metadata."""
+
+    name = "transport-aware"
+
+    def __init__(
+        self,
+        accelerate_tail: bool = True,
+        small_message_bytes: int = 3000,
+        inner: Optional[Steerer] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        accelerate_tail:
+            Steer each message's final segment to the low-latency channel
+            when its queue estimate still beats the bulk channel's.
+        small_message_bytes:
+            Messages at most this large are latency-bound (requests, RPCs);
+            steer them whole onto the low-latency channel when it wins.
+        inner:
+            Policy for bulk data (default: DChannel's delay comparison).
+        """
+        self.accelerate_tail = accelerate_tail
+        self.small_message_bytes = small_message_bytes
+        self.inner = inner if inner is not None else DChannelSteerer()
+
+    def _reliable_choice(self, alive: Sequence[ChannelView]) -> Optional[int]:
+        guaranteed = [v for v in alive if v.reliable]
+        if not guaranteed:
+            return None
+        return min(guaranteed, key=lambda v: v.base_delay).index
+
+    def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
+        alive = up_views(views)
+        if len(alive) == 1:
+            return (alive[0].index,)
+        ll = lowest_latency(alive)
+
+        # Pure ACKs: always separated onto the low-latency channel.
+        if packet.ptype == PacketType.ACK and packet.payload_bytes == 0:
+            return (ll.index,)
+
+        # Connection control: prefer a reliability guarantee.
+        if packet.ptype in (PacketType.SYN, PacketType.FIN):
+            reliable = self._reliable_choice(alive)
+            return (reliable if reliable is not None else ll.index,)
+
+        # Loss repair is latency-critical *and* loss-sensitive.
+        if packet.is_retransmission:
+            reliable = self._reliable_choice(alive)
+            candidate = reliable if reliable is not None else ll.index
+            return (candidate,)
+
+        message_size = None
+        if packet.message_start is not None and packet.message_last:
+            message_size = packet.end_seq - packet.message_start
+
+        others = [v for v in alive if v.index != ll.index]
+        hb = min(
+            others, key=lambda v: v.estimated_delivery_delay(packet.size_bytes)
+        )
+        ll_wins = ll.estimated_delivery_delay(packet.size_bytes) < (
+            hb.estimated_delivery_delay(packet.size_bytes)
+        )
+
+        # Small messages ride the low-latency channel whole.
+        if (
+            message_size is not None
+            and message_size <= self.small_message_bytes
+            and ll_wins
+        ):
+            return (ll.index,)
+
+        # Tail acceleration: the last segment unblocks the receiver.
+        if self.accelerate_tail and packet.message_last and ll_wins:
+            return (ll.index,)
+
+        return self.inner.choose(packet, views, now)

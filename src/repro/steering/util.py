@@ -1,0 +1,39 @@
+"""Small shared mechanisms for steering policies."""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A continuous token bucket (tokens refill with time, capped at burst).
+
+    Used by the cost-aware policy to enforce a monetary budget and available
+    to rate-limit scarce-channel usage in custom policies.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s < 0 or burst <= 0:
+            raise ValueError(f"invalid bucket rate={rate_per_s} burst={burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = burst
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+
+    def available(self, now: float) -> float:
+        """Tokens available right now."""
+        self._refill(now)
+        return self._tokens
+
+    def try_spend(self, amount: float, now: float) -> bool:
+        """Spend ``amount`` tokens if available; returns success."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        self._refill(now)
+        if amount > self._tokens:
+            return False
+        self._tokens -= amount
+        return True

@@ -1,0 +1,7 @@
+"""``python -m repro.traces`` dispatches to the trace CLI."""
+
+import sys
+
+from repro.traces.cli import main
+
+sys.exit(main())

@@ -1,0 +1,129 @@
+"""Piecewise-constant network traces.
+
+A :class:`NetworkTrace` maps simulation time to an instantaneous link rate
+(bits/s) and one-way propagation delay (seconds). Links sample it at packet
+granularity (:meth:`rate_at` when serialization starts, :meth:`delay_at` when
+it ends), which is the same approximation Mahimahi's shells make at the
+millisecond level.
+
+Traces loop: queries past the last sample wrap around modulo the trace
+duration, so a 120 s trace can drive an arbitrarily long experiment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+from repro.errors import TraceError
+
+
+class NetworkTrace:
+    """Sampled (time, rate, delay) series with step interpolation."""
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        rates_bps: Sequence[float],
+        delays: Sequence[float],
+        name: str = "trace",
+    ) -> None:
+        if not times:
+            raise TraceError("trace must contain at least one sample")
+        if not (len(times) == len(rates_bps) == len(delays)):
+            raise TraceError(
+                f"length mismatch: {len(times)} times, {len(rates_bps)} rates, "
+                f"{len(delays)} delays"
+            )
+        if times[0] != 0.0:
+            raise TraceError(f"trace must start at t=0, got {times[0]}")
+        for i in range(1, len(times)):
+            if times[i] <= times[i - 1]:
+                raise TraceError(f"times must be strictly increasing at index {i}")
+        for rate in rates_bps:
+            if rate < 0:
+                raise TraceError(f"rates must be non-negative, got {rate}")
+        for delay in delays:
+            if delay < 0:
+                raise TraceError(f"delays must be non-negative, got {delay}")
+        self.times: List[float] = list(times)
+        self.rates_bps: List[float] = [float(r) for r in rates_bps]
+        self.delays: List[float] = [float(d) for d in delays]
+        self.name = name
+        # The loop period: one step past the final sample, assuming uniform
+        # spacing when possible, otherwise the last sample time plus the mean
+        # step.
+        if len(self.times) >= 2:
+            step = self.times[-1] / (len(self.times) - 1)
+        else:
+            step = 1.0
+        self.duration = self.times[-1] + step
+
+    def _index_at(self, t: float) -> int:
+        if t < 0:
+            raise TraceError(f"trace queried at negative time {t}")
+        t = t % self.duration
+        return bisect.bisect_right(self.times, t) - 1
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate (bits/s) at simulation time ``t``."""
+        return self.rates_bps[self._index_at(t)]
+
+    def delay_at(self, t: float) -> float:
+        """Instantaneous one-way delay (seconds) at simulation time ``t``."""
+        return self.delays[self._index_at(t)]
+
+    # ------------------------------------------------------------------
+    # Summary statistics (used for calibration tests and reporting)
+    # ------------------------------------------------------------------
+    def mean_rate(self) -> float:
+        """Time-weighted mean rate over one loop of the trace."""
+        total = 0.0
+        for i, rate in enumerate(self.rates_bps):
+            end = self.times[i + 1] if i + 1 < len(self.times) else self.duration
+            total += rate * (end - self.times[i])
+        return total / self.duration
+
+    def percentile_delay(self, percentile: float) -> float:
+        """Delay percentile across samples (unweighted; samples are uniform)."""
+        if not 0 <= percentile <= 100:
+            raise TraceError(f"percentile must be in [0, 100], got {percentile}")
+        ordered = sorted(self.delays)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (percentile / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        # a + f*(b-a) is exact when a == b (a*(1-f) + b*f can round below a).
+        return ordered[low] + frac * (ordered[high] - ordered[low])
+
+    def min_rate(self) -> float:
+        return min(self.rates_bps)
+
+    def max_rate(self) -> float:
+        return max(self.rates_bps)
+
+    def scaled(self, rate_factor: float = 1.0, delay_factor: float = 1.0) -> "NetworkTrace":
+        """A copy with rates/delays multiplied by the given factors."""
+        return NetworkTrace(
+            self.times,
+            [r * rate_factor for r in self.rates_bps],
+            [d * delay_factor for d in self.delays],
+            name=f"{self.name}*",
+        )
+
+    def samples(self) -> List[Tuple[float, float, float]]:
+        """List of (time, rate_bps, delay) tuples."""
+        return list(zip(self.times, self.rates_bps, self.delays))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NetworkTrace {self.name} n={len(self.times)} dur={self.duration:.1f}s "
+            f"mean={self.mean_rate() / 1e6:.1f}Mbps>"
+        )
+
+
+def constant_trace(rate_bps: float, delay: float, name: str = "constant") -> NetworkTrace:
+    """A degenerate single-sample trace (fixed rate and delay)."""
+    return NetworkTrace([0.0], [rate_bps], [delay], name=name)

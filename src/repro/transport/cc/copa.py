@@ -1,0 +1,97 @@
+"""Copa (Arun & Balakrishnan, NSDI 2018), simplified.
+
+Copa targets a sending rate of ``1 / (δ · d_q)`` packets per second, where
+``d_q`` is the standing queueing delay (RTTstanding − RTTmin). The window
+moves toward that target by ``v/(δ·cwnd)`` packets per ACK, with the
+velocity ``v`` doubling while the direction is consistent.
+
+Copa is used by large real-time video deployments, which makes it a
+natural fifth delay-based subject for the Fig. 1 experiment: like Vegas
+and BBR it keys off the RTT floor, so DChannel's steering — which hands it
+a floor from a channel its data does not actually ride — collapses its
+target rate the same way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.transport.cc.base import AckSample, CongestionControl, INITIAL_WINDOW_SEGMENTS
+
+DEFAULT_DELTA = 0.5
+#: RTTstanding window: min RTT over roughly half an RTT of samples; we use
+#: a short time window as the approximation.
+STANDING_WINDOW = 0.1
+MIN_QUEUE_DELAY = 1e-4
+
+
+class Copa(CongestionControl):
+    name = "copa"
+
+    def __init__(self, mss: int = 1460, delta: float = DEFAULT_DELTA) -> None:
+        super().__init__(mss)
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+        self._cwnd = float(INITIAL_WINDOW_SEGMENTS * mss)
+        self._rtt_min: Optional[float] = None
+        self._recent: Deque[Tuple[float, float]] = deque()  # (time, rtt)
+        self._velocity = 1.0
+        self._direction = 0  # +1 growing, -1 shrinking
+        self._srtt = 0.05
+
+    # ------------------------------------------------------------------
+    def _rtt_standing(self, now: float) -> Optional[float]:
+        while self._recent and self._recent[0][0] < now - STANDING_WINDOW:
+            self._recent.popleft()
+        if not self._recent:
+            return None
+        return min(rtt for _, rtt in self._recent)
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt is None:
+            return
+        now = sample.now
+        self._srtt = 0.9 * self._srtt + 0.1 * sample.rtt
+        if self._rtt_min is None or sample.rtt < self._rtt_min:
+            self._rtt_min = sample.rtt
+        self._recent.append((now, sample.rtt))
+        standing = self._rtt_standing(now)
+        if standing is None:
+            return
+        queue_delay = max(MIN_QUEUE_DELAY, standing - self._rtt_min)
+        target_rate_pps = 1.0 / (self.delta * queue_delay)
+        current_rate_pps = (self._cwnd / self.mss) / max(standing, 1e-6)
+
+        step = self._velocity * self.mss / (self.delta * (self._cwnd / self.mss))
+        if current_rate_pps < target_rate_pps:
+            direction = +1
+            self._cwnd += step * (sample.newly_acked / self.mss)
+        else:
+            direction = -1
+            self._cwnd -= step * (sample.newly_acked / self.mss)
+        if direction == self._direction:
+            self._velocity = min(self._velocity * 1.04, 64.0)
+        else:
+            self._velocity = 1.0
+            self._direction = direction
+        self._cwnd = max(self._cwnd, 2.0 * self.mss)
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        """Copa's default mode reacts to loss only mildly."""
+        self._cwnd = max(2.0 * self.mss, self._cwnd * 0.85)
+
+    def on_timeout(self, now: float) -> None:
+        self._cwnd = float(2 * self.mss)
+        self._velocity = 1.0
+        self._direction = 0
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return max(self._cwnd, 2.0 * self.mss)
+
+    @property
+    def pacing_rate_bps(self) -> Optional[float]:
+        # Copa paces at 2×cwnd/RTT to smooth bursts (per the paper).
+        return 2.0 * self._cwnd * 8.0 / max(self._srtt, 1e-3)

@@ -1,0 +1,83 @@
+"""TCP CUBIC (Ha, Rhee, Xu 2008; RFC 8312).
+
+Loss-based: the window follows a cubic function of time since the last
+reduction, anchored at the pre-loss window. Being (almost) delay-blind is
+exactly why CUBIC is the one CCA in Fig. 1a that fills the high-bandwidth
+channel despite DChannel's RTT scrambling.
+"""
+
+from __future__ import annotations
+
+from repro.transport.cc.base import AckSample, CongestionControl, INITIAL_WINDOW_SEGMENTS
+
+#: RFC 8312 constants.
+C_SCALING = 0.4
+BETA = 0.7
+
+
+class Cubic(CongestionControl):
+    name = "cubic"
+
+    def __init__(self, mss: int = 1460) -> None:
+        super().__init__(mss)
+        self._cwnd = float(INITIAL_WINDOW_SEGMENTS * mss)
+        self._ssthresh = float("inf")
+        self._w_max = 0.0  # segments
+        self._epoch_start: float = -1.0
+        self._k = 0.0
+        self._last_loss_time = -1.0
+        self._min_rtt = 0.1
+
+    # ------------------------------------------------------------------
+    def _cwnd_segments(self) -> float:
+        return self._cwnd / self.mss
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.newly_acked <= 0:
+            return
+        if sample.rtt is not None:
+            self._min_rtt = min(self._min_rtt, sample.rtt) if self._min_rtt else sample.rtt
+        if self._cwnd < self._ssthresh:
+            self._cwnd += sample.newly_acked
+            return
+        if self._epoch_start < 0:
+            self._epoch_start = sample.now
+            current = self._cwnd_segments()
+            if current < self._w_max:
+                self._k = ((self._w_max - current) / C_SCALING) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+                self._w_max = current
+        t = sample.now - self._epoch_start
+        target_segments = self._w_max + C_SCALING * (t - self._k) ** 3
+        target = target_segments * self.mss
+        if target > self._cwnd:
+            # Approach the cubic target within one RTT's worth of ACKs.
+            self._cwnd += (target - self._cwnd) * (sample.newly_acked / max(self._cwnd, 1.0))
+        else:
+            # TCP-friendly region: grow at least like Reno.
+            self._cwnd += 0.5 * self.mss * self.mss / self._cwnd * (sample.newly_acked / self.mss)
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        if now - self._last_loss_time < self._min_rtt:
+            return  # one reduction per round trip of losses
+        self._last_loss_time = now
+        segments = self._cwnd_segments()
+        # Fast convergence (RFC 8312 §4.6).
+        if segments < self._w_max:
+            self._w_max = segments * (1.0 + BETA) / 2.0
+        else:
+            self._w_max = segments
+        self._cwnd = max(2.0 * self.mss, self._cwnd * BETA)
+        self._ssthresh = self._cwnd
+        self._epoch_start = -1.0
+
+    def on_timeout(self, now: float) -> None:
+        self._w_max = self._cwnd_segments()
+        self._ssthresh = max(2.0 * self.mss, self._cwnd * BETA)
+        self._cwnd = float(self.mss)
+        self._epoch_start = -1.0
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return max(self._cwnd, 2.0 * self.mss)

@@ -1,0 +1,112 @@
+"""PCC Vivace (Dong et al., NSDI 2018), simplified online-learning rate control.
+
+Vivace sends at an explicit rate for one *monitor interval* (MI), computes a
+utility
+
+    U(r) = r^t  -  b · r · max(0, dRTT/dt)  -  c · r · loss_rate
+
+from what happened during the MI, and moves the rate along the empirical
+utility gradient.
+
+The latency-gradient penalty is the term DChannel steering weaponizes
+against it in Fig. 1a: alternating ~5 ms and ~50 ms RTT samples produce a
+large positive dRTT/dt in many MIs, so the learned rate collapses to a
+trickle (~1.5 Mbps in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.transport.cc.base import AckSample, CongestionControl
+
+#: Utility exponent / penalty coefficients from the Vivace paper.
+THROUGHPUT_EXPONENT = 0.9
+LATENCY_COEFF = 900.0
+LOSS_COEFF = 11.35
+
+MIN_RATE_BPS = 0.2e6
+MAX_RATE_BPS = 1e9
+INITIAL_RATE_BPS = 3e6
+#: Gradient step bounds as a fraction of the current rate per MI.
+MAX_STEP_FRACTION = 0.12
+MIN_MI = 0.01
+
+
+class Vivace(CongestionControl):
+    name = "vivace"
+
+    def __init__(self, mss: int = 1460) -> None:
+        super().__init__(mss)
+        self.rate_bps = INITIAL_RATE_BPS
+        self._mi_start = 0.0
+        self._mi_rtts: List[Tuple[float, float]] = []  # (time, rtt)
+        self._mi_acked = 0
+        self._mi_losses = 0
+        self._prev_rate: Optional[float] = None
+        self._prev_utility: Optional[float] = None
+        self._srtt = 0.05
+
+    # ------------------------------------------------------------------
+    def _mi_duration(self) -> float:
+        return max(MIN_MI, 1.5 * self._srtt)
+
+    def _utility(self, rate_mbps: float, rtt_gradient: float, loss_rate: float) -> float:
+        throughput_term = max(rate_mbps, 1e-6) ** THROUGHPUT_EXPONENT
+        latency_term = LATENCY_COEFF * rate_mbps * max(0.0, rtt_gradient)
+        loss_term = LOSS_COEFF * rate_mbps * loss_rate
+        return throughput_term - latency_term - loss_term
+
+    def _finish_interval(self, now: float) -> None:
+        if len(self._mi_rtts) >= 2:
+            (t0, r0), (t1, r1) = self._mi_rtts[0], self._mi_rtts[-1]
+            rtt_gradient = (r1 - r0) / max(t1 - t0, 1e-6)
+        else:
+            rtt_gradient = 0.0
+        total = self._mi_acked + self._mi_losses
+        loss_rate = self._mi_losses / total if total else 0.0
+        utility = self._utility(self.rate_bps / 1e6, rtt_gradient, loss_rate)
+
+        if self._prev_rate is not None and abs(self.rate_bps - self._prev_rate) > 1e-9:
+            assert self._prev_utility is not None
+            gradient = (utility - self._prev_utility) / (
+                (self.rate_bps - self._prev_rate) / 1e6
+            )
+            step = 0.05e6 * gradient
+        else:
+            step = 0.02 * self.rate_bps  # probe upward to get a gradient
+
+        max_step = MAX_STEP_FRACTION * self.rate_bps
+        step = max(-max_step, min(max_step, step))
+        self._prev_rate = self.rate_bps
+        self._prev_utility = utility
+        self.rate_bps = max(MIN_RATE_BPS, min(MAX_RATE_BPS, self.rate_bps + step))
+
+        self._mi_start = now
+        self._mi_rtts = []
+        self._mi_acked = 0
+        self._mi_losses = 0
+
+    # ------------------------------------------------------------------
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt is not None:
+            self._mi_rtts.append((sample.now, sample.rtt))
+            self._srtt = 0.9 * self._srtt + 0.1 * sample.rtt
+        self._mi_acked += sample.newly_acked
+        if sample.now - self._mi_start >= self._mi_duration():
+            self._finish_interval(sample.now)
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        self._mi_losses += self.mss
+
+    def on_timeout(self, now: float) -> None:
+        self.rate_bps = max(MIN_RATE_BPS, self.rate_bps / 2.0)
+
+    @property
+    def cwnd_bytes(self) -> float:
+        # Rate-based: the window only prevents runaway inflight.
+        return max(2.0 * self.mss, 2.0 * (self.rate_bps / 8.0) * max(self._srtt, 0.01))
+
+    @property
+    def pacing_rate_bps(self) -> Optional[float]:
+        return self.rate_bps

@@ -1,0 +1,158 @@
+"""Unreliable datagram transport with message reassembly.
+
+Real-time video (§3.3) sends each SVC layer as a *message* of UDP packets;
+there is no retransmission — a late frame is a lost frame. The socket
+packetizes a message into MTU-sized datagrams tagged with the cross-layer
+fields steering policies need (message id, priority, last-packet flag), and
+the receiving socket reassembles and reports completed messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import TransportError
+from repro.net.node import Device
+from repro.net.packet import Packet, PacketType
+from repro.sim.kernel import Simulator
+from repro.units import DEFAULT_MSS
+
+
+@dataclass
+class DatagramMessage:
+    """Receiver-side reassembly state for one message."""
+
+    message_id: int
+    priority: Optional[int]
+    first_packet_at: float
+    bytes_received: int = 0
+    total_bytes: Optional[int] = None
+    completed_at: Optional[float] = None
+    #: Send timestamp of the earliest packet seen (sender clock == sim clock).
+    sent_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.total_bytes is not None and self.bytes_received >= self.total_bytes
+
+
+@dataclass
+class DatagramStats:
+    messages_sent: int = 0
+    messages_completed: int = 0
+    packets_sent: int = 0
+    packets_received: int = 0
+    bytes_sent: int = 0
+
+
+class DatagramSocket:
+    """One endpoint of an unreliable, message-oriented flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        flow_id: int,
+        mtu_payload: int = DEFAULT_MSS,
+        flow_priority: Optional[int] = None,
+        on_message: Optional[Callable[[DatagramMessage], None]] = None,
+    ) -> None:
+        if mtu_payload <= 0:
+            raise TransportError(f"mtu_payload must be positive, got {mtu_payload}")
+        self.sim = sim
+        self.device = device
+        self.flow_id = flow_id
+        self.mtu_payload = mtu_payload
+        self.flow_priority = flow_priority
+        self.on_message = on_message
+        self.stats = DatagramStats()
+        self._assembly: Dict[int, DatagramMessage] = {}
+        self._closed = False
+        device.register_flow(flow_id, self._on_packet)
+
+    def send_message(
+        self,
+        size_bytes: int,
+        message_id: int,
+        priority: Optional[int] = None,
+    ) -> int:
+        """Packetize and send one message; returns the packet count.
+
+        Packets are offered to the device back to back; pacing, queueing and
+        loss are the network's business. ``seq`` on each packet is the byte
+        offset within the message, so the receiver can account for which
+        bytes (not just how many) arrived.
+        """
+        if self._closed:
+            raise TransportError(f"flow {self.flow_id}: send on closed socket")
+        if size_bytes <= 0:
+            raise TransportError(f"message size must be positive, got {size_bytes}")
+        offset = 0
+        packets = 0
+        while offset < size_bytes:
+            payload = min(self.mtu_payload, size_bytes - offset)
+            packet = Packet(
+                flow_id=self.flow_id,
+                ptype=PacketType.DATAGRAM,
+                payload_bytes=payload,
+            )
+            packet.created_at = self.sim.now
+            packet.seq = offset
+            packet.end_seq = offset + payload
+            packet.message_id = message_id
+            packet.message_priority = priority
+            packet.message_start = 0
+            packet.message_last = offset + payload == size_bytes
+            packet.flow_priority = self.flow_priority
+            self.device.send(packet)
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += payload
+            offset += payload
+            packets += 1
+        self.stats.messages_sent += 1
+        return packets
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.device.unregister_flow(self.flow_id)
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.ptype != PacketType.DATAGRAM or packet.message_id is None:
+            return
+        self.stats.packets_received += 1
+        state = self._assembly.get(packet.message_id)
+        if state is None:
+            state = DatagramMessage(
+                message_id=packet.message_id,
+                priority=packet.message_priority,
+                first_packet_at=self.sim.now,
+                sent_at=packet.created_at,
+            )
+            self._assembly[packet.message_id] = state
+        if state.sent_at is None or packet.created_at < state.sent_at:
+            state.sent_at = packet.created_at
+        state.bytes_received += packet.payload_bytes
+        if packet.message_last:
+            state.total_bytes = packet.end_seq
+        if state.complete and state.completed_at is None:
+            state.completed_at = self.sim.now
+            self.stats.messages_completed += 1
+            if self.on_message is not None:
+                self.on_message(state)
+
+    def discard_before(self, message_id: int) -> None:
+        """Drop reassembly state for messages older than ``message_id``.
+
+        Real-time receivers call this as their playout point advances so
+        state for frames that will never complete does not accumulate.
+        """
+        stale = [mid for mid in self._assembly if mid < message_id]
+        for mid in stale:
+            del self._assembly[mid]
+
+    def pending_messages(self) -> Dict[int, DatagramMessage]:
+        """Reassembly state keyed by message id (completed ones included)."""
+        return self._assembly

@@ -1,0 +1,94 @@
+"""Socket-Intents-style application→transport interface (§3.3).
+
+The paper argues two easily supplied hints unlock most of the cross-layer
+benefit: *flow* category/priority and *message* boundary/priority. This
+module gives applications a declarative way to express both, and maps them
+onto the packet tags steering policies consume.
+
+Flow categories follow Socket Intents [Schmidt et al., CoNEXT '13]:
+
+* ``interactive`` — user-blocking (web page loads, RPC): priority 0.
+* ``realtime``    — latency-critical media: priority 0.
+* ``bulk``        — throughput-bound transfers: priority 1.
+* ``background``  — log uploads, prefetch: priority 2 (never use scarce
+  low-latency capacity; this is Table 1's "DChannel w. priority" hint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import TransportError
+from repro.net.node import Device
+from repro.sim.kernel import Simulator
+from repro.transport import next_flow_id
+from repro.transport.connection import Connection, MessageReceipt
+from repro.transport.datagram import DatagramSocket
+
+#: Category → flow priority (lower = more important).
+FLOW_PRIORITIES = {
+    "interactive": 0,
+    "realtime": 0,
+    "bulk": 1,
+    "background": 2,
+}
+
+
+@dataclass
+class Intent:
+    """What the application declares about a flow before opening it."""
+
+    category: str = "interactive"
+    #: Override the category's default flow priority.
+    flow_priority: Optional[int] = None
+    #: Preferred congestion controller for reliable flows.
+    cc: str = "cubic"
+
+    def resolved_priority(self) -> int:
+        if self.flow_priority is not None:
+            return self.flow_priority
+        try:
+            return FLOW_PRIORITIES[self.category]
+        except KeyError:
+            known = ", ".join(sorted(FLOW_PRIORITIES))
+            raise TransportError(
+                f"unknown intent category {self.category!r}; known: {known}"
+            ) from None
+
+
+def open_connection(
+    sim: Simulator,
+    device: Device,
+    intent: Intent,
+    flow_id: Optional[int] = None,
+    on_message: Optional[Callable[[MessageReceipt], None]] = None,
+    **kwargs,
+) -> Connection:
+    """Open a reliable connection endpoint with the intent's tags applied."""
+    return Connection(
+        sim,
+        device,
+        flow_id if flow_id is not None else next_flow_id(),
+        cc=intent.cc,
+        flow_priority=intent.resolved_priority(),
+        on_message=on_message,
+        **kwargs,
+    )
+
+
+def open_datagram(
+    sim: Simulator,
+    device: Device,
+    intent: Intent,
+    flow_id: Optional[int] = None,
+    **kwargs,
+) -> DatagramSocket:
+    """Open a datagram endpoint with the intent's tags applied."""
+    return DatagramSocket(
+        sim,
+        device,
+        flow_id if flow_id is not None else next_flow_id(),
+        flow_priority=intent.resolved_priority(),
+        **kwargs,
+    )

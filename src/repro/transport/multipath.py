@@ -1,0 +1,582 @@
+"""Multipath transport with per-channel subflows (the paper's §4 design).
+
+This is the MPQUIC-shaped endpoint the paper sketches as the natural home
+for HVC awareness: one connection, one data-level sequence space, but a
+**subflow per channel**, each with its own congestion controller and RTT
+estimator. Because every subflow's packets stay on one channel, RTT samples
+are never bimodal — the Fig. 1 pathology cannot arise by construction.
+
+Segment placement is a pluggable *scheduler*:
+
+* ``"minrtt"`` — MPTCP's default: the lowest-smoothed-RTT subflow with
+  congestion window space (bandwidth aggregation, heterogeneity-blind).
+* ``"hvc"`` — the paper's: bulk data fills the high-bandwidth subflow;
+  the low-latency subflow is reserved for message tails, small messages
+  and loss repair, so it accelerates exactly the bytes an application is
+  blocked on. ACKs always return on the low-latency channel.
+
+Reliability is data-level (like MPTCP's DSN space): a segment lost on one
+subflow may be *reinjected* on another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TransportError
+from repro.net.node import Device
+from repro.net.packet import Packet, PacketType
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.transport.cc import make_cc
+from repro.transport.cc.base import AckSample, CongestionControl
+from repro.transport.connection import (
+    MessageReceipt,
+    OutgoingMessage,
+    RttRecord,
+    Segment,
+)
+from repro.transport.rtx import RttEstimator
+from repro.units import DEFAULT_MSS
+
+SACK_REORDER_BYTES_FACTOR = 3
+MAX_SACK_RANGES = 3
+#: Messages at most this large count as latency-bound for the hvc scheduler.
+SMALL_MESSAGE_BYTES = 3000
+
+SCHEDULERS = ("minrtt", "hvc")
+
+
+class Subflow:
+    """Per-channel sending state: CC, RTT estimator, in-flight accounting."""
+
+    def __init__(self, channel_index: int, cc: CongestionControl, min_rto: float) -> None:
+        self.channel_index = channel_index
+        self.cc = cc
+        self.rtt = RttEstimator(min_rto=min_rto)
+        self.in_flight = 0
+        self.next_send_time = 0.0
+
+    def has_window(self, size: int) -> bool:
+        return self.in_flight + size <= self.cc.cwnd_bytes
+
+    @property
+    def srtt(self) -> float:
+        return self.rtt.srtt if self.rtt.srtt is not None else 0.05
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Subflow ch={self.channel_index} cwnd={self.cc.cwnd_bytes:.0f} "
+            f"inflight={self.in_flight}>"
+        )
+
+
+class MultipathConnection:
+    """One endpoint of a multipath connection (one subflow per channel)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        flow_id: int,
+        cc: str = "cubic",
+        scheduler: str = "hvc",
+        mss: int = DEFAULT_MSS,
+        min_rto: float = 0.2,
+        flow_priority: Optional[int] = None,
+        on_message: Optional[Callable[[MessageReceipt], None]] = None,
+    ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise TransportError(
+                f"unknown scheduler {scheduler!r}; known: {', '.join(SCHEDULERS)}"
+            )
+        if not device.channels:
+            raise TransportError("device has no channels; attach before opening")
+        self.sim = sim
+        self.device = device
+        self.flow_id = flow_id
+        self.mss = mss
+        self.scheduler = scheduler
+        self.flow_priority = flow_priority
+        self.on_message = on_message
+        self.subflows: List[Subflow] = [
+            Subflow(i, make_cc(cc, mss=mss), min_rto)
+            for i in range(len(device.channels))
+        ]
+        self.stats_rtt_records: List[RttRecord] = []
+        self.delivered_timeline: List[Tuple[float, int]] = []
+        self.retransmissions = 0
+        self.timeouts = 0
+
+        # Data-level send state (mirrors Connection's, minus per-conn CC).
+        self._write_end = 0
+        self._snd_una = 0
+        self._snd_nxt = 0
+        self._segments: List[Segment] = []
+        self._retx_queue: List[Segment] = []
+        self._highest_sacked = 0
+        self._messages: List[OutgoingMessage] = []
+        self._next_message_index = 0
+        self._total_delivered = 0
+        self._rto_event: Optional[Event] = None
+        self._pacing_event: Optional[Event] = None
+        self._auto_message_ids = iter(range(10**9, 2 * 10**9))
+
+        # Receive state.
+        self._rcv_nxt = 0
+        self._ooo_ranges: List[Tuple[int, int]] = []
+        self._message_ends: Dict[int, Tuple[int, Optional[int], int]] = {}
+        self._delivered_message_ends: set = set()
+        self._closed = False
+
+        device.register_flow(flow_id, self._on_packet)
+
+    # ------------------------------------------------------------------
+    # Channel roles
+    # ------------------------------------------------------------------
+    def _live_subflows(self) -> List[Subflow]:
+        """Subflows whose channel is administratively up (all, if none are)."""
+        live = [
+            s for s in self.subflows if self.device.views[s.channel_index].up
+        ]
+        return live if live else list(self.subflows)
+
+    def _ll_subflow(self) -> Subflow:
+        """The live subflow on the lowest-base-delay channel."""
+        return min(
+            self._live_subflows(),
+            key=lambda s: self.device.views[s.channel_index].base_delay,
+        )
+
+    def _hb_subflow(self) -> Subflow:
+        """The live subflow on the highest-rate channel."""
+        return max(
+            self._live_subflows(),
+            key=lambda s: self.device.views[s.channel_index].rate_bps,
+        )
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def send_message(
+        self,
+        size_bytes: int,
+        message_id: Optional[int] = None,
+        priority: Optional[int] = None,
+        on_acked: Optional[Callable[[OutgoingMessage, float], None]] = None,
+    ) -> OutgoingMessage:
+        """Queue one message; semantics match Connection.send_message."""
+        if self._closed:
+            raise TransportError(f"flow {self.flow_id}: send on closed connection")
+        if size_bytes <= 0:
+            raise TransportError(f"message size must be positive, got {size_bytes}")
+        if message_id is None:
+            message_id = next(self._auto_message_ids)
+        message = OutgoingMessage(
+            start=self._write_end,
+            end=self._write_end + size_bytes,
+            message_id=message_id,
+            priority=priority,
+            on_acked=on_acked,
+        )
+        self._write_end = message.end
+        self._messages.append(message)
+        self._try_send()
+        return message
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for event_attr in ("_rto_event", "_pacing_event"):
+            event = getattr(self, event_attr)
+            if event is not None:
+                self.sim.cancel(event)
+                setattr(self, event_attr, None)
+        self.device.unregister_flow(self.flow_id)
+
+    @property
+    def bytes_acked(self) -> int:
+        return self._snd_una
+
+    @property
+    def bytes_unsent(self) -> int:
+        return self._write_end - self._snd_nxt
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _pick_subflow(self, segment: Segment) -> Optional[Subflow]:
+        if self.scheduler == "minrtt":
+            candidates = [
+                s for s in self._live_subflows() if s.has_window(segment.size)
+            ]
+            if not candidates:
+                return None
+            return min(candidates, key=lambda s: s.srtt)
+        return self._pick_hvc(segment)
+
+    def _pick_hvc(self, segment: Segment) -> Optional[Subflow]:
+        """The paper's scheduler: reserve the LL subflow for urgent bytes."""
+        ll = self._ll_subflow()
+        hb = self._hb_subflow()
+        urgent = segment.retransmitted or segment.message_last or (
+            segment.message_size is not None
+            and segment.message_size <= SMALL_MESSAGE_BYTES
+        )
+        if urgent and ll is not hb and ll.has_window(segment.size):
+            return ll
+        if hb.has_window(segment.size):
+            return hb
+        # HB full: bulk *waits*. Spilling bulk onto the low-latency subflow
+        # would fill its queue and rob urgent segments of the acceleration —
+        # the exact misuse of a narrow HVC the paper cautions against.
+        return None
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def _message_for_offset(self, offset: int) -> OutgoingMessage:
+        for message in self._messages[self._next_message_index:]:
+            if message.start <= offset < message.end:
+                return message
+        raise TransportError(f"flow {self.flow_id}: no message covers offset {offset}")
+
+    def _try_send(self) -> None:
+        if self._closed:
+            return
+        progress = True
+        while progress:
+            progress = False
+            if self._retx_queue:
+                segment = self._retx_queue[0]
+                if segment.sacked or segment.end_seq <= self._snd_una:
+                    self._retx_queue.pop(0)
+                    progress = True
+                    continue
+                subflow = self._pick_subflow(segment)
+                if subflow is not None and not self._pacing_gate(subflow):
+                    self._retx_queue.pop(0)
+                    self._retransmit(segment, subflow)
+                    progress = True
+                continue
+            if self.bytes_unsent <= 0:
+                return
+            probe = self._peek_next_segment()
+            subflow = self._pick_subflow(probe)
+            if subflow is None or self._pacing_gate(subflow):
+                return
+            self._commit_segment(probe)
+            self._transmit(probe, subflow, retransmission=False)
+            progress = True
+
+    def _peek_next_segment(self) -> Segment:
+        message = self._message_for_offset(self._snd_nxt)
+        size = min(self.mss, message.end - self._snd_nxt)
+        return Segment(
+            seq=self._snd_nxt,
+            end_seq=self._snd_nxt + size,
+            sent_at=self.sim.now,
+            delivered_at_send=self._total_delivered,
+            message_id=message.message_id,
+            message_priority=message.priority,
+            message_last=(self._snd_nxt + size == message.end),
+            message_start=message.start,
+            message_size=message.size,
+        )
+
+    def _commit_segment(self, segment: Segment) -> None:
+        self._snd_nxt = segment.end_seq
+        self._segments.append(segment)
+
+    def _pacing_gate(self, subflow: Subflow) -> bool:
+        if subflow.cc.pacing_rate_bps is None or self.sim.now >= subflow.next_send_time:
+            return False
+        if self._pacing_event is None:
+            self._pacing_event = self.sim.schedule(
+                subflow.next_send_time - self.sim.now, self._pacing_wakeup
+            )
+        return True
+
+    def _pacing_wakeup(self) -> None:
+        self._pacing_event = None
+        self._try_send()
+
+    def _retransmit(self, segment: Segment, subflow: Subflow) -> None:
+        segment.lost = False
+        segment.retransmitted = True
+        segment.sent_at = self.sim.now
+        segment.no_remark_until = self.sim.now + subflow.srtt
+        self.retransmissions += 1
+        self._transmit(segment, subflow, retransmission=True)
+
+    def _transmit(self, segment: Segment, subflow: Subflow, retransmission: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow_id, ptype=PacketType.DATA, payload_bytes=segment.size
+        )
+        packet.created_at = self.sim.now
+        packet.flow_priority = self.flow_priority
+        packet.channel_hint = subflow.channel_index
+        packet.seq = segment.seq
+        packet.end_seq = segment.end_seq
+        packet.is_retransmission = retransmission
+        packet.message_id = segment.message_id
+        packet.message_priority = segment.message_priority
+        packet.message_last = segment.message_last
+        packet.message_start = segment.message_start
+        self.device.send(packet)
+        segment.channel = subflow.channel_index
+        subflow.in_flight += segment.size
+        pacing = subflow.cc.pacing_rate_bps
+        if pacing is not None and pacing > 0:
+            interval = (segment.size + 40) * 8 / pacing
+            subflow.next_send_time = max(subflow.next_send_time, self.sim.now) + interval
+        subflow.cc.on_sent(self.sim.now, segment.size, subflow.in_flight)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # RTO (data-level: earliest outstanding segment, its subflow's RTO)
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
+        if self._snd_una < self._snd_nxt:
+            rto = max(s.rtt.rto for s in self.subflows)
+            self._rto_event = self.sim.schedule(rto, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self._closed or self._snd_una >= self._snd_nxt:
+            return
+        self.timeouts += 1
+        first = next((s for s in self._segments if not s.sacked), None)
+        if first is None:
+            self._arm_rto()
+            return
+        carrier = self._subflow_for(first.channel)
+        carrier.rtt.on_timeout()
+        carrier.cc.on_timeout(self.sim.now)
+        if not first.lost:
+            carrier.in_flight = max(0, carrier.in_flight - first.size)
+            first.lost = True
+        if first in self._retx_queue:
+            self._retx_queue.remove(first)
+        # Reinject on whichever subflow the scheduler prefers now.
+        subflow = self._pick_subflow(first) or carrier
+        self._retransmit(first, subflow)
+
+    def _subflow_for(self, channel_index: Optional[int]) -> Subflow:
+        if channel_index is not None:
+            for subflow in self.subflows:
+                if subflow.channel_index == channel_index:
+                    return subflow
+        return self.subflows[0]
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if self._closed:
+            return
+        if packet.ptype == PacketType.DATA:
+            self._on_data(packet)
+        elif packet.ptype == PacketType.ACK:
+            self._on_ack(packet)
+
+    def _on_data(self, packet: Packet) -> None:
+        if packet.message_last and packet.message_id is not None:
+            start = packet.message_start if packet.message_start is not None else 0
+            self._message_ends[packet.end_seq] = (
+                packet.message_id,
+                packet.message_priority,
+                start,
+            )
+        self._merge_range(packet.seq, packet.end_seq)
+        self._fire_completed_messages()
+        ack = Packet(flow_id=self.flow_id, ptype=PacketType.ACK)
+        ack.created_at = self.sim.now
+        ack.flow_priority = self.flow_priority
+        ack.ack_seq = self._rcv_nxt
+        ack.sack = tuple(self._ooo_ranges[-MAX_SACK_RANGES:])
+        ack.seq = packet.seq
+        # §3.2/§4: ACKs return on the LL channel — but only while it has
+        # headroom. A 60 Mbps data flow generates ~3 Mbps of ACKs, which
+        # would drown a 2 Mbps URLLC channel; past a small queueing bound
+        # the ACK falls back to the data packet's own channel.
+        ll = self._ll_subflow()
+        view = self.device.views[ll.channel_index]
+        if view.queueing_delay(ack.size_bytes) <= 2 * view.base_delay:
+            ack.channel_hint = ll.channel_index
+        elif packet.channel_index is not None:
+            ack.channel_hint = packet.channel_index
+        self.device.send(ack)
+
+    def _merge_range(self, start: int, end: int) -> None:
+        if end <= self._rcv_nxt:
+            return
+        self._ooo_ranges.append((max(start, self._rcv_nxt), end))
+        self._ooo_ranges.sort()
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in self._ooo_ranges:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        while merged and merged[0][0] <= self._rcv_nxt:
+            self._rcv_nxt = max(self._rcv_nxt, merged.pop(0)[1])
+        self._ooo_ranges = merged
+
+    def _fire_completed_messages(self) -> None:
+        completed = [
+            end
+            for end in self._message_ends
+            if end <= self._rcv_nxt and end not in self._delivered_message_ends
+        ]
+        for end in sorted(completed):
+            message_id, priority, start = self._message_ends.pop(end)
+            self._delivered_message_ends.add(end)
+            if self.on_message is not None:
+                self.on_message(
+                    MessageReceipt(
+                        message_id=message_id,
+                        priority=priority,
+                        size=end - start,
+                        completed_at=self.sim.now,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def _on_ack(self, packet: Packet) -> None:
+        ack_seq = packet.ack_seq
+        if ack_seq > self._snd_nxt:
+            return
+        newly_acked = max(0, ack_seq - self._snd_una)
+        newest: Optional[Segment] = None
+        if newly_acked:
+            self._snd_una = ack_seq
+            self._total_delivered += newly_acked
+            self.delivered_timeline.append((self.sim.now, self._total_delivered))
+            newest = self._ack_segments_below(ack_seq)
+        sacked_newest = self._apply_sack(packet.sack)
+        newest = sacked_newest or newest
+
+        if newest is not None:
+            subflow = self._subflow_for(newest.channel)
+            rtt_sample = self.sim.now - newest.sent_at
+            subflow.rtt.on_sample(rtt_sample)
+            delivered = self._total_delivered - newest.delivered_at_send
+            delivery_rate = delivered * 8.0 / rtt_sample if rtt_sample > 0 else None
+            self.stats_rtt_records.append(
+                RttRecord(
+                    time=self.sim.now,
+                    rtt=rtt_sample,
+                    data_channel=newest.channel,
+                    ack_channel=packet.channel_index,
+                )
+            )
+            subflow.cc.on_ack(
+                AckSample(
+                    now=self.sim.now,
+                    rtt=rtt_sample,
+                    newly_acked=newly_acked,
+                    in_flight=subflow.in_flight,
+                    delivery_rate=delivery_rate,
+                    app_limited=self.bytes_unsent == 0,
+                    data_channel=newest.channel,
+                    ack_channel=packet.channel_index,
+                    total_delivered=self._total_delivered,
+                )
+            )
+        self._detect_losses()
+        self._fire_acked_messages()
+        if self._snd_una < self._snd_nxt:
+            self._arm_rto()
+        elif self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
+        self._try_send()
+
+    def _ack_segments_below(self, ack_seq: int) -> Optional[Segment]:
+        newest: Optional[Segment] = None
+        kept: List[Segment] = []
+        for segment in self._segments:
+            if segment.end_seq <= ack_seq:
+                if not segment.sacked and not segment.lost:
+                    subflow = self._subflow_for(segment.channel)
+                    subflow.in_flight = max(0, subflow.in_flight - segment.size)
+                if not segment.retransmitted:
+                    newest = segment
+            else:
+                kept.append(segment)
+        self._segments = kept
+        return newest
+
+    def _apply_sack(self, ranges: tuple) -> Optional[Segment]:
+        if not ranges:
+            return None
+        newest: Optional[Segment] = None
+        for segment in self._segments:
+            if segment.sacked:
+                continue
+            for lo, hi in ranges:
+                if lo <= segment.seq and segment.end_seq <= hi:
+                    segment.sacked = True
+                    if segment.lost:
+                        segment.lost = False
+                    else:
+                        subflow = self._subflow_for(segment.channel)
+                        subflow.in_flight = max(0, subflow.in_flight - segment.size)
+                    self._highest_sacked = max(self._highest_sacked, segment.end_seq)
+                    if not segment.retransmitted:
+                        newest = segment
+                    break
+        return newest
+
+    def _detect_losses(self) -> None:
+        """Per-subflow SACK loss detection: a hole is lost only relative to
+        later deliveries *on its own channel* (cross-channel reordering is
+        normal here, not a loss signal)."""
+        per_channel_high: Dict[Optional[int], int] = {}
+        for segment in self._segments:
+            if segment.sacked:
+                high = per_channel_high.get(segment.channel, 0)
+                per_channel_high[segment.channel] = max(high, segment.end_seq)
+        newly_lost: List[Segment] = []
+        for segment in self._segments:
+            if segment.sacked or segment.lost:
+                continue
+            threshold = (
+                per_channel_high.get(segment.channel, 0)
+                - SACK_REORDER_BYTES_FACTOR * self.mss
+            )
+            if segment.end_seq <= threshold and self.sim.now >= segment.no_remark_until:
+                segment.lost = True
+                subflow = self._subflow_for(segment.channel)
+                subflow.in_flight = max(0, subflow.in_flight - segment.size)
+                newly_lost.append(segment)
+        if newly_lost:
+            self._retx_queue.extend(newly_lost)
+            channels = {segment.channel for segment in newly_lost}
+            for channel in channels:
+                subflow = self._subflow_for(channel)
+                subflow.cc.on_loss(self.sim.now, subflow.in_flight)
+
+    def _fire_acked_messages(self) -> None:
+        while self._next_message_index < len(self._messages):
+            message = self._messages[self._next_message_index]
+            if message.end > self._snd_una:
+                break
+            message.acked_at = self.sim.now
+            if message.on_acked is not None:
+                message.on_acked(message, self.sim.now)
+            self._next_message_index += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MultipathConnection flow={self.flow_id} una={self._snd_una} "
+            f"nxt={self._snd_nxt} scheduler={self.scheduler}>"
+        )

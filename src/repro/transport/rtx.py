@@ -1,0 +1,71 @@
+"""RTT estimation and retransmission timeout per RFC 6298 (Jacobson/Karn).
+
+Karn's rule is enforced by the caller: retransmitted segments never produce
+RTT samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Conservative floor; real stacks use 200 ms – 1 s. Low-latency channels
+#: make smaller floors attractive, so it is configurable per connection.
+DEFAULT_MIN_RTO = 0.2
+DEFAULT_MAX_RTO = 60.0
+#: RTO before the first RTT sample (RFC 6298 says 1 s).
+INITIAL_RTO = 1.0
+
+ALPHA = 1.0 / 8.0
+BETA = 1.0 / 4.0
+K = 4.0
+
+
+class RttEstimator:
+    """Smoothed RTT / RTT variance / RTO state machine."""
+
+    def __init__(self, min_rto: float = DEFAULT_MIN_RTO, max_rto: float = DEFAULT_MAX_RTO) -> None:
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError(f"invalid RTO bounds [{min_rto}, {max_rto}]")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.latest_rtt: Optional[float] = None
+        self.min_rtt: Optional[float] = None
+        self.samples = 0
+        self._backoff = 1.0
+
+    def on_sample(self, rtt: float) -> None:
+        """Fold in one RTT measurement (never from a retransmission)."""
+        if rtt <= 0:
+            raise ValueError(f"rtt sample must be positive, got {rtt}")
+        self.latest_rtt = rtt
+        self.samples += 1
+        self._backoff = 1.0
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - BETA) * self.rttvar + BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - ALPHA) * self.srtt + ALPHA * rtt
+
+    def on_timeout(self) -> None:
+        """Exponential backoff after a retransmission timeout fires."""
+        self._backoff = min(self._backoff * 2.0, 64.0)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout (seconds)."""
+        if self.srtt is None:
+            base = INITIAL_RTO
+        else:
+            assert self.rttvar is not None
+            base = self.srtt + K * self.rttvar
+        return min(self.max_rto, max(self.min_rto, base) * self._backoff)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srtt = f"{self.srtt * 1e3:.1f}ms" if self.srtt is not None else "?"
+        return f"<RttEstimator srtt={srtt} rto={self.rto * 1e3:.0f}ms>"

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.channel import Channel, ChannelSpec
+from repro.net.node import Device
+from repro.net.packet import Packet, PacketType
+from repro.sim.kernel import Simulator
+from repro.units import mbps, ms
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def make_channel(sim, rate_bps=mbps(10), one_way_delay=ms(10), index=0, name="ch", **kwargs):
+    """A symmetric fixed-rate channel for plumbing tests."""
+    spec = ChannelSpec.symmetric(name, rate_bps, one_way_delay, **kwargs)
+    return Channel(sim, spec, index=index)
+
+
+def make_pair(sim, specs):
+    """Two devices connected by channels built from ``specs``."""
+    channels = [Channel(sim, spec, index=i) for i, spec in enumerate(specs)]
+    client = Device(sim, "client")
+    server = Device(sim, "server")
+    client.attach(channels, end=0)
+    server.attach(channels, end=1)
+    return client, server, channels
+
+
+def data_packet(flow_id=1, payload=1000, **kwargs):
+    return Packet(flow_id=flow_id, ptype=PacketType.DATA, payload_bytes=payload, **kwargs)
+
+
+def ack_packet(flow_id=1, **kwargs):
+    return Packet(flow_id=flow_id, ptype=PacketType.ACK, payload_bytes=0, **kwargs)

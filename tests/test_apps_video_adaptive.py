@@ -1,0 +1,82 @@
+"""Tests for adaptive (feedback-driven) video sending."""
+
+import pytest
+
+from repro.apps.video.adaptive import (
+    AdaptiveVideoSender,
+    FeedbackReporter,
+    attach_feedback_channel,
+)
+from repro.apps.video.quality import SsimModel
+from repro.apps.video.receiver import VideoReceiver
+from repro.apps.video.svc import SvcEncoderModel
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec
+from repro.units import mbps, ms
+
+
+def build_session(net, duration=None, **sender_kwargs):
+    encoder = SvcEncoderModel()
+    media = net.open_datagram()
+    feedback = net.open_datagram()
+    sender = AdaptiveVideoSender(
+        net.sim, media.client, encoder, duration=duration, **sender_kwargs
+    )
+    receiver = VideoReceiver(net.sim, media.server, encoder)
+    reporter = FeedbackReporter(net.sim, receiver, feedback.server)
+    attach_feedback_channel(sender, feedback.client)
+    return sender, receiver
+
+
+class TestAdaptiveSender:
+    def test_keeps_full_ladder_on_clean_network(self):
+        net = HvcNetwork(
+            [fixed_embb_spec(rate_bps=mbps(50), rtt=ms(20))], steering="single"
+        )
+        sender, _ = build_session(net, duration=6.0)
+        net.run(until=7.0)
+        assert sender.active_layers == 3
+        assert sender.adaptation_log == [(0.0, 3)]
+
+    def test_drops_layers_when_channel_too_narrow(self):
+        # 6 Mbps < the 12 Mbps ladder: frames arrive late, feedback bites.
+        net = HvcNetwork(
+            [fixed_embb_spec(rate_bps=mbps(6), rtt=ms(20))], steering="single"
+        )
+        sender, _ = build_session(net, duration=10.0)
+        net.run(until=11.0)
+        assert sender.active_layers < 3
+        assert len(sender.adaptation_log) > 1
+
+    def test_adaptation_restores_timeliness(self):
+        """After dropping to a sustainable ladder, frames arrive on time."""
+        net = HvcNetwork(
+            [fixed_embb_spec(rate_bps=mbps(6), rtt=ms(20))], steering="single"
+        )
+        sender, receiver = build_session(net, duration=20.0)
+        net.run(until=21.0)
+        late_window = [f for f in receiver.frames if f.sent_at > 15.0 and f.decoded]
+        assert late_window
+        on_time = sum(1 for f in late_window if f.latency <= ms(120))
+        assert on_time / len(late_window) > 0.8
+
+    def test_restores_layers_after_recovery(self):
+        sender_net = HvcNetwork(
+            [fixed_embb_spec(rate_bps=mbps(50), rtt=ms(20))], steering="single"
+        )
+        sender, _ = build_session(
+            sender_net, duration=15.0, restore_after=1.0
+        )
+        # Force a drop manually, then let clean feedback restore it.
+        sender.on_feedback(0.2)
+        assert sender.active_layers == 2
+        sender_net.run(until=10.0)
+        assert sender.active_layers == 3
+
+    def test_never_drops_base_layer(self):
+        net = HvcNetwork(
+            [fixed_embb_spec(rate_bps=mbps(1), rtt=ms(20))], steering="single"
+        )
+        sender, _ = build_session(net, duration=10.0)
+        net.run(until=11.0)
+        assert sender.active_layers >= 1

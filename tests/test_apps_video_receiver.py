@@ -1,0 +1,127 @@
+"""Unit tests for the video receiver's decode rules (fake socket, no net)."""
+
+import pytest
+
+from repro.apps.video.receiver import VideoReceiver
+from repro.apps.video.sender import message_id_for
+from repro.apps.video.svc import SvcEncoderModel
+from repro.sim.kernel import Simulator
+from repro.transport.datagram import DatagramMessage
+from repro.units import ms
+
+
+class FakeSocket:
+    """Just enough of DatagramSocket for the receiver."""
+
+    def __init__(self):
+        self.on_message = None
+        self.discarded = []
+
+    def discard_before(self, message_id):
+        self.discarded.append(message_id)
+
+
+def make_receiver(keyframe_interval=30):
+    sim = Simulator()
+    socket = FakeSocket()
+    encoder = SvcEncoderModel(keyframe_interval=keyframe_interval)
+    receiver = VideoReceiver(sim, socket, encoder)
+    return sim, socket, receiver
+
+
+def deliver(socket, frame, layer, sent_at=0.0, at=None):
+    message = DatagramMessage(
+        message_id=message_id_for(frame, layer),
+        priority=layer,
+        first_packet_at=at if at is not None else sent_at,
+        bytes_received=1000,
+        total_bytes=1000,
+        sent_at=sent_at,
+    )
+    message.completed_at = at
+    socket.on_message(message)
+
+
+class TestDecodeRules:
+    def test_decode_fires_after_wait(self):
+        sim, socket, receiver = make_receiver()
+        deliver(socket, frame=0, layer=0, sent_at=0.0)
+        sim.run(until=1.0)
+        assert len(receiver.frames) == 1
+        frame = receiver.frames[0]
+        assert frame.decoded_at == pytest.approx(ms(60))
+        assert frame.decoded_layer == 0  # only layer 0 arrived
+
+    def test_all_layers_decodes_top(self):
+        sim, socket, receiver = make_receiver()
+        for layer in (0, 1, 2):
+            deliver(socket, frame=0, layer=layer)
+        sim.run(until=1.0)
+        assert receiver.frames[0].decoded_layer == 2
+
+    def test_early_decode_on_lookahead(self):
+        """Layer 0 of frames i+1 and i+2 release frame i before 60 ms."""
+        sim, socket, receiver = make_receiver()
+        deliver(socket, frame=0, layer=0, sent_at=0.0)
+
+        def later_frames():
+            deliver(socket, frame=1, layer=0, sent_at=sim.now)
+            deliver(socket, frame=2, layer=0, sent_at=sim.now)
+
+        sim.schedule(ms(10), later_frames)
+        sim.run(until=1.0)
+        frame0 = next(f for f in receiver.frames if f.frame_index == 0)
+        assert frame0.decoded_at == pytest.approx(ms(10))
+
+    def test_missing_middle_layer_caps_decode(self):
+        """Layers must be contiguous: 0 and 2 without 1 decodes at 0."""
+        sim, socket, receiver = make_receiver()
+        deliver(socket, frame=0, layer=0)
+        deliver(socket, frame=0, layer=2)
+        sim.run(until=1.0)
+        assert receiver.frames[0].decoded_layer == 0
+
+    def test_temporal_dependency_limits_next_frame(self):
+        """Frame i at layer L needs frame i-1 decoded at >= L (non-key)."""
+        sim, socket, receiver = make_receiver()
+        deliver(socket, frame=0, layer=0)  # frame 0 decodes at layer 0
+        sim.run(until=0.08)
+
+        for layer in (0, 1, 2):
+            deliver(socket, frame=1, layer=layer, sent_at=sim.now)
+        sim.run(until=0.3)
+        frame1 = next(f for f in receiver.frames if f.frame_index == 1)
+        assert frame1.decoded_layer == 0  # capped by frame 0's decode
+
+    def test_keyframe_resets_dependency(self):
+        """At a keyframe, full quality returns regardless of history."""
+        sim, socket, receiver = make_receiver(keyframe_interval=2)
+        deliver(socket, frame=1, layer=0)  # non-key frame, layer 0 only
+        sim.run(until=0.08)
+        for layer in (0, 1, 2):
+            deliver(socket, frame=2, layer=layer, sent_at=sim.now)  # keyframe
+        sim.run(until=0.3)
+        frame2 = next(f for f in receiver.frames if f.frame_index == 2)
+        assert frame2.decoded_layer == 2
+
+    def test_frame_without_base_layer_never_decodes(self):
+        sim, socket, receiver = make_receiver()
+        deliver(socket, frame=0, layer=1)
+        deliver(socket, frame=0, layer=2)
+        sim.run(until=1.0)
+        assert receiver.frames == []
+
+    def test_latency_uses_sender_timestamp(self):
+        sim, socket, receiver = make_receiver()
+        sim.run(until=0.2)
+        deliver(socket, frame=0, layer=0, sent_at=0.05, at=sim.now)
+        sim.run(until=1.0)
+        frame = receiver.frames[0]
+        assert frame.latency == pytest.approx(0.2 + ms(60) - 0.05)
+
+    def test_reassembly_state_discarded(self):
+        sim, socket, receiver = make_receiver()
+        for index in range(6):
+            deliver(socket, frame=index, layer=0, sent_at=sim.now)
+            sim.run(until=sim.now + 0.1)
+        assert socket.discarded  # old frames dropped from the socket

@@ -1,0 +1,62 @@
+"""Tests for the HTTP/1.1-style parallel-connection loader."""
+
+import pytest
+
+from repro.apps.web.browser import load_page
+from repro.apps.web.corpus import generate_page
+from repro.apps.web.h1 import H1Loader, load_page_h1
+from repro.apps.web.page import WebObject, WebPage
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+from repro.units import mbps, ms
+
+
+def fast_net(steering="single"):
+    return HvcNetwork(
+        [fixed_embb_spec(rate_bps=mbps(60), rtt=ms(50))], steering=steering
+    )
+
+
+def fan_out_page(width=12):
+    """One root, then ``width`` independent objects — H1's best case."""
+    objects = [WebObject(0, 30_000)]
+    for i in range(1, width + 1):
+        objects.append(WebObject(i, 40_000, depends_on=[0]))
+    return WebPage("fanout", objects)
+
+
+class TestH1Loader:
+    def test_load_completes(self):
+        result = load_page_h1(fast_net(), fan_out_page())
+        assert result.complete
+        assert len(result.object_finish_times) == 13
+
+    def test_dependencies_respected(self):
+        result = load_page_h1(fast_net(), fan_out_page())
+        times = result.object_finish_times
+        assert all(times[0] < times[i] for i in range(1, 13))
+
+    def test_parallelism_bounded_by_connection_count(self):
+        """With 1 connection the fan-out serializes; with 6 it overlaps."""
+        serial = load_page_h1(fast_net(), fan_out_page(), max_connections=1).plt
+        parallel = load_page_h1(fast_net(), fan_out_page(), max_connections=6).plt
+        assert parallel < serial * 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            H1Loader(fast_net(), fan_out_page(), max_connections=0)
+
+    def test_h1_vs_h2_same_page_both_complete(self):
+        page = generate_page("compare", seed=5)
+        h2 = load_page(fast_net(), page)
+        h1 = load_page_h1(fast_net(), page)
+        assert h2.complete and h1.complete
+        # Both land in a sane band; neither pathologically slow.
+        assert h1.plt < 5.0 and h2.plt < 5.0
+
+    def test_h1_over_hvcs_with_steering(self):
+        net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="dchannel")
+        result = load_page_h1(net, fan_out_page())
+        assert result.complete
+        # Request/handshake traffic reached URLLC.
+        assert net.channel_named("urllc").uplink.stats.delivered > 0

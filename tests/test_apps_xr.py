@@ -1,0 +1,73 @@
+"""Tests for the cloud-gaming / XR frame loop application."""
+
+import pytest
+
+from repro.apps.xr import (
+    CLOUD_GAMING_DEADLINE,
+    XR_DEADLINE,
+    run_xr_session,
+)
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec, traced_embb_spec, urllc_spec
+from repro.traces.catalog import get_trace
+from repro.units import mbps, ms, to_ms
+
+
+def wide_net(steering="single"):
+    # 100 Mbps, 30 ms RTT: comfortably fits the 30 Mbps stream.
+    return HvcNetwork(
+        [fixed_embb_spec(rate_bps=mbps(100), rtt=ms(30))], steering=steering
+    )
+
+
+class TestXrSession:
+    def test_frames_complete_on_clean_network(self):
+        result = run_xr_session(wide_net(), duration=5.0)
+        assert result.inputs_sent >= 299
+        assert len(result.frames) > 0.9 * result.inputs_sent
+
+    def test_latency_above_propagation_floor(self):
+        result = run_xr_session(wide_net(), duration=5.0)
+        # One RTT (30 ms) plus frame serialization (~5 ms at 100 Mbps).
+        assert result.latency_cdf().min >= ms(34)
+
+    def test_on_time_fraction_high_when_capacity_ample(self):
+        result = run_xr_session(wide_net(), duration=5.0)
+        assert result.on_time_fraction > 0.9
+
+    def test_deadline_scoring(self):
+        result = run_xr_session(wide_net(), duration=5.0, deadline=ms(1))
+        assert result.on_time_fraction == 0.0  # nothing beats 1 ms
+
+    def test_narrow_channel_misses_deadlines(self):
+        # 20 Mbps < 30 Mbps offered: queue growth blows the budget.
+        net = HvcNetwork(
+            [fixed_embb_spec(rate_bps=mbps(20), rtt=ms(30))], steering="single"
+        )
+        result = run_xr_session(net, duration=5.0)
+        assert result.on_time_fraction < 0.5
+
+    def test_deadlines_exported(self):
+        assert XR_DEADLINE == ms(20)
+        assert CLOUD_GAMING_DEADLINE == ms(100)
+
+    def test_steering_improves_on_degrading_embb(self):
+        """On a driving trace + URLLC, steering beats eMBB-only on-time %."""
+
+        def build(steering):
+            trace = get_trace("5g-lowband-driving", seed=5)
+            embb = traced_embb_spec(trace)
+            embb.name = "embb"
+            return HvcNetwork([embb, urllc_spec()], steering=steering, seed=1)
+
+        from repro.steering.single import SingleChannelSteerer
+
+        baseline = run_xr_session(
+            build(SingleChannelSteerer(channel_name="embb")), duration=10.0
+        )
+        steered = run_xr_session(build("transport-aware"), duration=10.0)
+        assert steered.on_time_fraction >= baseline.on_time_fraction
+        assert (
+            steered.latency_cdf().percentile(95)
+            <= baseline.latency_cdf().percentile(95)
+        )

@@ -1,0 +1,27 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_runs_quick_fig1a(self, capsys):
+        assert main(["fig1a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out
+        assert "cubic" in out
+
+    def test_duration_override(self, capsys):
+        assert main(["fig1b", "--duration", "5"]) == 0
+        assert "fig1b" in capsys.readouterr().out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_table1_pages_flag(self, capsys):
+        assert main(["table1", "--pages", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Stati." in out or "Stat" in out

@@ -1,0 +1,112 @@
+"""Tests for declarative scenario building."""
+
+import json
+
+import pytest
+
+from repro.core.scenario import ChannelConfig, ScenarioSpec
+from repro.errors import ScenarioError
+from repro.units import kb, mbps
+
+
+class TestChannelConfig:
+    def test_embb_fixed(self):
+        specs = ChannelConfig(kind="embb", rate_mbps=40, rtt_ms=30).build(seed=0)
+        assert len(specs) == 1
+        assert specs[0].up.rate_bps == mbps(40)
+
+    def test_embb_traced(self):
+        specs = ChannelConfig(kind="embb", trace="5g-lowband-driving").build(seed=0)
+        assert specs[0].up.trace is not None
+
+    def test_wifi_mlo_expands_to_two(self):
+        assert len(ChannelConfig(kind="wifi-mlo").build(seed=0)) == 2
+
+    def test_custom_needs_parameters(self):
+        with pytest.raises(ScenarioError):
+            ChannelConfig(kind="custom").build(seed=0)
+        specs = ChannelConfig(kind="custom", rate_mbps=5, rtt_ms=10, name="lab").build(0)
+        assert specs[0].name == "lab"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            ChannelConfig(kind="quantum").build(seed=0)
+
+    def test_from_dict_validates_keys(self):
+        with pytest.raises(ScenarioError):
+            ChannelConfig.from_dict({"kind": "embb", "color": "blue"})
+        with pytest.raises(ScenarioError):
+            ChannelConfig.from_dict({"trace": "x"})
+
+
+class TestScenarioSpec:
+    def canonical(self):
+        return ScenarioSpec(
+            channels=[
+                ChannelConfig(kind="embb", rate_mbps=60, rtt_ms=50),
+                ChannelConfig(kind="urllc"),
+            ],
+            steering="dchannel",
+            seed=3,
+        )
+
+    def test_build_and_run(self):
+        net = self.canonical().build()
+        done = []
+        pair = net.open_connection(on_server_message=done.append)
+        pair.client.send_message(kb(50), message_id=1)
+        net.run(until=5.0)
+        assert len(done) == 1
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec().build()
+
+    def test_json_round_trip(self):
+        spec = self.canonical()
+        data = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = ScenarioSpec.from_dict(data)
+        assert rebuilt.steering == spec.steering
+        assert rebuilt.seed == spec.seed
+        assert [c.kind for c in rebuilt.channels] == ["embb", "urllc"]
+        rebuilt.build()  # still buildable
+
+    def test_from_dict_validates_keys(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict({"channels": [], "mode": "turbo"})
+
+    def test_steering_kwargs_forwarded(self):
+        spec = ScenarioSpec(
+            channels=[
+                ChannelConfig(kind="embb"),
+                ChannelConfig(kind="urllc"),
+            ],
+            steering="single",
+            steering_kwargs={"index": 1},
+        )
+        net = spec.build()
+        pair = net.open_connection()
+        pair.client.send_message(kb(5))
+        net.run(until=2.0)
+        assert net.channels[1].uplink.stats.delivered > 0
+        assert net.channels[0].uplink.stats.delivered == 0
+
+    def test_determinism_by_seed(self):
+        def run(seed):
+            spec = ScenarioSpec(
+                channels=[
+                    ChannelConfig(kind="embb", trace="5g-lowband-driving"),
+                    ChannelConfig(kind="urllc"),
+                ],
+                steering="dchannel",
+                seed=seed,
+            )
+            net = spec.build()
+            done = []
+            pair = net.open_connection(on_server_message=done.append)
+            pair.client.send_message(kb(100), message_id=1)
+            net.run(until=10.0)
+            return done[0].completed_at
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

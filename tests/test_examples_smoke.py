@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts stay runnable.
+
+Only the fast examples run here (the slower, trace-driven ones are
+exercised through the experiments they share code with).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = ["quickstart.py", "cost_aware_wan.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_importable():
+    """Every example parses and imports (without running main)."""
+    import importlib.util
+
+    for name in sorted(os.listdir(EXAMPLES_DIR)):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(EXAMPLES_DIR, name)
+        spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{name} has no main()"

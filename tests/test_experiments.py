@@ -1,0 +1,117 @@
+"""Smoke-scale tests for the experiment harness (full scale runs in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.fig1 import run_fig1a, run_fig1b, run_single_cca
+from repro.experiments.fig2 import run_fig2_cell, video_network
+from repro.experiments.table1 import run_table1_cell, web_network
+from repro.units import to_mbps
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1a",
+            "fig1b",
+            "fig2",
+            "table1",
+            "ab-cc",
+            "ab-ack",
+            "ab-mlo",
+            "ab-cost",
+            "ab-mp",
+            "ab-reseq",
+            "ab-tsn",
+            "baselines",
+            "sweep-urllc-bw",
+            "sweep-threshold",
+            "sweep-urllc-rtt",
+            "sweep-decode-wait",
+        }
+
+
+class TestFig1Harness:
+    def test_single_cca_runs(self):
+        bulk = run_single_cca("cubic", duration=3.0)
+        assert bulk.bytes_acked > 0
+
+    def test_fig1a_smoke(self):
+        result = run_fig1a(duration=5.0, ccas=("cubic", "vegas"))
+        assert "cubic" in result.values and "vegas" in result.values
+        assert result.values["cubic"] > result.values["vegas"]
+        text = result.render()
+        assert "Fig. 1a" in text
+
+    def test_fig1b_smoke(self):
+        result = run_fig1b(duration=8.0)
+        assert result.values["samples"] > 50
+        assert result.values["min_rtt_ms"] < result.values["max_rtt_ms"]
+        assert result.series[0].series["rtt"]
+
+    def test_steering_hurts_delay_based_cca(self):
+        """The experiment's core claim at smoke scale: single channel fine,
+        steered channels collapse, for a delay-based CCA."""
+        steered = run_single_cca("vegas", duration=8.0)
+        clean = run_single_cca("vegas", duration=8.0, steering="single")
+        steered_mbps = to_mbps(steered.mean_throughput_bps(start=2.0, end=8.0))
+        clean_mbps = to_mbps(clean.mean_throughput_bps(start=2.0, end=8.0))
+        assert clean_mbps > 2 * steered_mbps
+
+
+class TestFig2Harness:
+    def test_network_channels_named(self):
+        net = video_network("5g-lowband-driving", "priority")
+        assert net.channel_named("embb") is not None
+        assert net.channel_named("urllc") is not None
+
+    def test_cell_smoke(self):
+        cell = run_fig2_cell("5g-lowband-driving", "priority", duration=4.0)
+        assert cell.frames_sent >= 119
+        assert len(cell.frames) > 100
+        assert cell.latency_cdf().min > 0
+
+    def test_embb_only_uses_one_channel(self):
+        net = video_network("5g-lowband-driving", "embb-only")
+        from repro.apps.video.session import run_video_session
+
+        run_video_session(net, duration=2.0)
+        assert net.channel_named("urllc").uplink.stats.delivered == 0
+
+    def test_priority_splits_layers(self):
+        net = video_network("5g-lowband-driving", "priority")
+        from repro.apps.video.session import run_video_session
+
+        run_video_session(net, duration=2.0)
+        assert net.channel_named("urllc").uplink.stats.delivered > 0
+        assert net.channel_named("embb").uplink.stats.delivered > 0
+
+
+class TestBaselinesAndSweeps:
+    def test_baselines_smoke(self):
+        from repro.experiments.baselines import run_baselines
+
+        result = run_baselines(policies=("embb-only", "dchannel"), page_count=2)
+        assert set(result.values) == {"embb-only", "dchannel"}
+        assert "Policy zoo" in result.render()
+
+    def test_sweep_smoke(self):
+        from repro.experiments.sensitivity import run_urllc_rtt_sweep
+
+        result = run_urllc_rtt_sweep(rtts_ms=(2.0, 30.0), page_count=2)
+        assert set(result.values) == {"2.0", "30.0"}
+
+
+class TestTable1Harness:
+    def test_cell_smoke(self):
+        from repro.apps.web.corpus import generate_corpus
+
+        pages = generate_corpus(count=2, seed=3)
+        plts = run_table1_cell("stationary", "dchannel", pages=pages)
+        assert len(plts) == 2
+        assert all(0 < plt < 45.0 for plt in plts)
+
+    def test_network_built_with_trace(self):
+        net = web_network("5g-lowband-driving", "dchannel")
+        embb = net.channel_named("embb")
+        assert embb.uplink.spec.trace is not None

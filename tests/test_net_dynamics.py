@@ -1,0 +1,65 @@
+"""Tests for scripted channel dynamics."""
+
+import pytest
+
+from repro.core.api import HvcNetwork
+from repro.errors import NetworkError
+from repro.net.dynamics import ChannelTimeline
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+from repro.units import kb
+
+
+class TestChannelTimeline:
+    def net(self):
+        return HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="dchannel")
+
+    def test_outage_toggles_channel(self):
+        net = self.net()
+        timeline = ChannelTimeline(net.sim, net.channel_named("urllc"))
+        timeline.outage(start=1.0, duration=2.0)
+        net.run(until=1.5)
+        assert not net.channel_named("urllc").up
+        net.run(until=3.5)
+        assert net.channel_named("urllc").up
+
+    def test_flap_schedules_count_cycles(self):
+        net = self.net()
+        timeline = ChannelTimeline(net.sim, net.channel_named("urllc"))
+        timeline.flap(start=0.5, period=1.0, count=3)
+        assert len(timeline.events) == 6  # begin+end per cycle
+        ups = []
+        for t in (0.6, 1.2, 1.6, 2.2, 2.6, 3.2):
+            net.run(until=t)
+            ups.append(net.channel_named("urllc").up)
+        assert ups == [False, True, False, True, False, True]
+
+    def test_transfer_survives_scripted_urllc_outage(self):
+        net = self.net()
+        ChannelTimeline(net.sim, net.channel_named("urllc")).outage(0.05, 1.0)
+        done = []
+        pair = net.open_connection(on_server_message=done.append)
+        pair.client.send_message(kb(400), message_id=1)
+        net.run(until=20.0)
+        assert len(done) == 1
+
+    def test_custom_action(self):
+        net = self.net()
+        timeline = ChannelTimeline(net.sim, net.channel_named("embb"))
+        fired = []
+        timeline.at(2.0, lambda ch: fired.append(ch.name), "note")
+        net.run(until=3.0)
+        assert fired == ["embb"]
+        assert timeline.events[0].description == "note"
+
+    def test_validation(self):
+        net = self.net()
+        timeline = ChannelTimeline(net.sim, net.channels[0])
+        net.run(until=1.0)
+        with pytest.raises(NetworkError):
+            timeline.at(0.5, lambda ch: None)
+        with pytest.raises(NetworkError):
+            timeline.outage(2.0, 0)
+        with pytest.raises(NetworkError):
+            timeline.flap(2.0, 1.0, 3, down_fraction=1.5)
+        with pytest.raises(NetworkError):
+            timeline.flap(2.0, 0, 3)

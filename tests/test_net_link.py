@@ -1,0 +1,146 @@
+"""Unit tests for the link pipeline (serialize → loss → propagate)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.link import Link, LinkSpec
+from repro.net.loss import BernoulliLoss
+from repro.net.packet import Packet, PacketType
+from repro.sim.kernel import Simulator
+from repro.traces.model import NetworkTrace, constant_trace
+from repro.units import mbps, ms
+
+
+def pkt(payload=1460):
+    return Packet(flow_id=1, ptype=PacketType.DATA, payload_bytes=payload)
+
+
+def make_link(sim, rate=mbps(12), delay=ms(10), **kwargs):
+    link = Link(sim, LinkSpec(rate_bps=rate, delay=delay, **kwargs), name="test")
+    arrivals = []
+    link.connect(lambda p: arrivals.append((sim.now, p)))
+    return link, arrivals
+
+
+class TestLinkDelivery:
+    def test_single_packet_timing(self):
+        """1500 B at 12 Mbps = 1 ms serialization + 10 ms propagation."""
+        sim = Simulator()
+        link, arrivals = make_link(sim)
+        link.send(pkt())
+        sim.run()
+        assert len(arrivals) == 1
+        assert arrivals[0][0] == pytest.approx(0.011)
+
+    def test_back_to_back_packets_serialize_sequentially(self):
+        sim = Simulator()
+        link, arrivals = make_link(sim)
+        link.send(pkt())
+        link.send(pkt())
+        sim.run()
+        times = [t for t, _ in arrivals]
+        assert times[0] == pytest.approx(0.011)
+        assert times[1] == pytest.approx(0.012)
+
+    def test_fifo_even_when_delay_drops(self):
+        """A mid-flight delay drop must not reorder deliveries."""
+        sim = Simulator()
+        trace = NetworkTrace([0.0, 0.0015], [mbps(12), mbps(12)], [ms(50), ms(1)])
+        link = Link(sim, LinkSpec(trace=trace), name="vary")
+        arrivals = []
+        link.connect(lambda p: arrivals.append(p))
+        first, second = pkt(), pkt()
+        link.send(first)
+        link.send(second)
+        sim.run()
+        assert arrivals == [first, second]
+
+    def test_overflow_drops_counted(self):
+        sim = Simulator()
+        link, arrivals = make_link(sim, queue_bytes=1500)
+        for _ in range(5):
+            link.send(pkt())
+        sim.run()
+        # One in service immediately + one queued fit; rest dropped.
+        assert link.stats.overflow_drops == 3
+        assert len(arrivals) == 2
+
+    def test_loss_model_applied(self):
+        sim = Simulator()
+        link, arrivals = make_link(sim, loss=BernoulliLoss(0.5), queue_bytes=1_000_000)
+        for _ in range(400):
+            link.send(pkt())
+        sim.run()
+        assert 120 < len(arrivals) < 280
+        assert link.stats.lost == 400 - len(arrivals)
+
+    def test_down_link_rejects(self):
+        sim = Simulator()
+        link, arrivals = make_link(sim)
+        link.up = False
+        assert not link.send(pkt())
+        sim.run()
+        assert arrivals == []
+
+    def test_backlog_includes_in_service_packet(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        link.send(pkt())
+        link.send(pkt())
+        assert link.backlog_bytes == 3000
+        sim.run(until=0.0015)
+        assert link.backlog_bytes == 1500
+
+    def test_no_receiver_raises(self):
+        sim = Simulator()
+        link = Link(sim, LinkSpec(rate_bps=mbps(12), delay=ms(1)))
+        link.send(pkt())
+        with pytest.raises(NetworkError):
+            sim.run()
+
+    def test_outage_recovers(self):
+        """A zero-rate trace span stalls the packet, then it goes through."""
+        sim = Simulator()
+        trace = NetworkTrace([0.0, 0.05], [0.0, mbps(12)], [ms(1), ms(1)])
+        link = Link(sim, LinkSpec(trace=trace), name="outage")
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(pkt())
+        sim.run(until=0.2)
+        assert len(arrivals) == 1
+        assert 0.05 <= arrivals[0] < 0.06
+
+    def test_trace_driven_rate(self):
+        """Doubled trace rate halves serialization time."""
+        sim = Simulator()
+        link = Link(sim, LinkSpec(trace=constant_trace(mbps(24), ms(10))))
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(pkt())
+        sim.run()
+        assert arrivals[0] == pytest.approx(0.0105)
+
+    def test_stats_bytes_delivered(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        link.send(pkt())
+        sim.run()
+        assert link.stats.bytes_delivered == 1500
+        assert link.stats.delivered == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(rate_bps=0).validate()
+        with pytest.raises(NetworkError):
+            LinkSpec(rate_bps=1e6, delay=-1).validate()
+        with pytest.raises(NetworkError):
+            LinkSpec(rate_bps=1e6, queue_bytes=0).validate()
+
+    def test_on_depart_hook_fires(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        departures = []
+        link.on_depart = lambda p, l: departures.append(sim.now)
+        link.send(pkt())
+        sim.run()
+        assert departures == [pytest.approx(0.001)]

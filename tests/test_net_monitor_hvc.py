@@ -1,0 +1,147 @@
+"""Tests for channel monitoring, HVC profiles, and failure injection."""
+
+import pytest
+
+from repro.apps.bulk import BulkTransfer
+from repro.core.api import HvcNetwork
+from repro.net.channel import Channel
+from repro.net.hvc import (
+    EMBB_QUEUE_BYTES,
+    cisp_spec,
+    fiber_wan_spec,
+    fixed_embb_spec,
+    leo_spec,
+    traced_embb_spec,
+    urllc_spec,
+    wifi_mlo_specs,
+)
+from repro.net.monitor import ChannelMonitor
+from repro.sim.kernel import Simulator
+from repro.traces.catalog import get_trace
+from repro.units import kb, mbps, ms
+
+
+class TestHvcProfiles:
+    def test_urllc_matches_paper_emulation(self):
+        spec = urllc_spec()
+        assert spec.up.rate_bps == mbps(2)
+        assert spec.up.delay == ms(2.5)  # 5 ms RTT
+        assert spec.reliable
+
+    def test_fixed_embb_matches_fig1(self):
+        spec = fixed_embb_spec()
+        assert spec.up.rate_bps == mbps(60)
+        assert spec.up.delay + spec.down.delay == pytest.approx(ms(50))
+        assert spec.up.queue_bytes == EMBB_QUEUE_BYTES
+
+    def test_traced_embb_scales_uplink(self):
+        trace = get_trace("5g-lowband-stationary")
+        spec = traced_embb_spec(trace, uplink_rate_factor=0.25)
+        sim = Simulator()
+        channel = Channel(sim, spec)
+        down = channel.downlink.current_rate()
+        up = channel.uplink.current_rate()
+        assert up == pytest.approx(down * 0.25)
+
+    def test_wifi_mlo_channels_are_lossy_pairs(self):
+        a, b = wifi_mlo_specs()
+        assert a.name != b.name
+        assert a.up.loss is not None and b.up.loss is not None
+        assert a.up.loss is not b.up.loss  # stateful models never shared
+
+    def test_cisp_is_priced_and_fast(self):
+        cisp = cisp_spec()
+        fiber = fiber_wan_spec()
+        assert cisp.cost_per_byte > 0
+        assert fiber.cost_per_byte == 0
+        assert cisp.up.delay < fiber.up.delay
+        assert cisp.up.rate_bps < fiber.up.rate_bps
+
+    def test_leo_profile(self):
+        leo = leo_spec()
+        assert leo.up.delay + leo.down.delay == pytest.approx(ms(25))
+        assert leo.up.loss.long_run_rate > 0
+
+
+class TestChannelMonitor:
+    def test_samples_collected_at_period(self):
+        net = HvcNetwork([fixed_embb_spec()], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.5)
+        net.run(until=2.0)
+        series = monitor["embb"]
+        assert len(series.samples) == 5  # t = 0.0, 0.5, 1.0, 1.5, 2.0
+
+    def test_utilization_reflects_load(self):
+        net = HvcNetwork([fixed_embb_spec(rate_bps=mbps(20))], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.2)
+        BulkTransfer(net, cc="cubic")
+        net.run(until=8.0)
+        assert monitor["embb"].utilization("up") > 0.7
+
+    def test_idle_channel_utilization_zero(self):
+        net = HvcNetwork([fixed_embb_spec()], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.2)
+        net.run(until=2.0)
+        assert monitor["embb"].utilization("down") == 0.0
+
+    def test_backlog_series_shows_queueing(self):
+        net = HvcNetwork([fixed_embb_spec(rate_bps=mbps(10))], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.05)
+        BulkTransfer(net, cc="cubic")
+        net.run(until=3.0)
+        assert monitor["embb"].peak_backlog_bytes("up") > 10_000
+        series = monitor["embb"].backlog_series("up")
+        assert any(backlog > 0 for _, backlog in series)
+
+    def test_stop_halts_sampling(self):
+        net = HvcNetwork([fixed_embb_spec()], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.1)
+        net.run(until=0.5)
+        monitor.stop()
+        count = len(monitor["embb"].samples)
+        net.run(until=2.0)
+        assert len(monitor["embb"].samples) == count
+
+    def test_validation(self):
+        net = HvcNetwork([fixed_embb_spec()], steering="single")
+        with pytest.raises(ValueError):
+            ChannelMonitor(net.sim, net.channels, period=0)
+        monitor = ChannelMonitor(net.sim, net.channels)
+        with pytest.raises(ValueError):
+            monitor["embb"].utilization("sideways")
+
+
+class TestFailureInjection:
+    def test_steering_avoids_downed_channel(self):
+        """Mid-transfer URLLC outage: DChannel keeps everything on eMBB."""
+        net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="dchannel")
+        received = []
+        pair = net.open_connection(on_server_message=received.append)
+        net.sim.schedule(0.0, lambda: pair.client.send_message(kb(300), message_id=1))
+        net.sim.schedule(0.05, lambda: net.channel_named("urllc").set_up(False))
+        net.run(until=20.0)
+        assert len(received) == 1
+
+    def test_transfer_survives_channel_flap(self):
+        """URLLC flaps down and back up; the transfer still completes."""
+        net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="dchannel")
+        received = []
+        pair = net.open_connection(on_server_message=received.append)
+        pair.client.send_message(kb(500), message_id=1)
+        net.sim.schedule(0.1, lambda: net.channel_named("urllc").set_up(False))
+        net.sim.schedule(0.4, lambda: net.channel_named("urllc").set_up(True))
+        net.run(until=30.0)
+        assert len(received) == 1
+
+    def test_only_channel_down_then_recovered(self):
+        """Packets sent into a dead channel are lost; RTO recovers after
+        the channel returns."""
+        net = HvcNetwork([fixed_embb_spec()], steering="single")
+        received = []
+        pair = net.open_connection(on_server_message=received.append)
+        pair.client.send_message(kb(20), message_id=1)
+        net.sim.schedule(0.01, lambda: net.channels[0].set_up(False))
+        net.sim.schedule(1.0, lambda: net.channels[0].set_up(True))
+        net.run(until=30.0)
+        assert len(received) == 1
+        assert pair.client.stats.timeouts > 0

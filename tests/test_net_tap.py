@@ -1,0 +1,70 @@
+"""Tests for packet taps."""
+
+import json
+
+import pytest
+
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+from repro.net.tap import PacketTap
+from repro.units import kb
+
+
+def make_net():
+    return HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="dchannel")
+
+
+class TestPacketTap:
+    def test_records_sends_and_receives(self):
+        net = make_net()
+        tap = PacketTap(net)
+        pair = net.open_connection()
+        pair.client.send_message(kb(20), message_id=1)
+        net.run(until=5.0)
+        kinds = {e["event"] for e in tap.events}
+        assert kinds == {"send", "receive"}
+        assert tap.flows() == [pair.client.flow_id]
+
+    def test_channel_share_reflects_steering(self):
+        net = make_net()
+        tap = PacketTap(net)
+        pair = net.open_connection()
+        pair.client.send_message(kb(200), message_id=1)
+        net.run(until=10.0)
+        share = tap.channel_share("send")
+        assert share.get(0, 0) > 0  # bulk on eMBB
+        assert share.get(1, 0) > 0  # ACK/control acceleration on URLLC
+
+    def test_predicate_filters(self):
+        net = make_net()
+        pair = net.open_connection()
+        tap = PacketTap(net, predicate=lambda p: p.flow_id == pair.client.flow_id + 1)
+        pair.client.send_message(kb(5), message_id=1)
+        net.run(until=3.0)
+        assert tap.events == []
+
+    def test_max_events_cap(self):
+        net = make_net()
+        tap = PacketTap(net, max_events=10)
+        pair = net.open_connection()
+        pair.client.send_message(kb(100), message_id=1)
+        net.run(until=10.0)
+        assert len(tap.events) == 10
+        assert tap.dropped_records > 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        net = make_net()
+        tap = PacketTap(net)
+        pair = net.open_connection()
+        pair.client.send_message(kb(5), message_id=1)
+        net.run(until=3.0)
+        path = tmp_path / "capture.jsonl"
+        count = tap.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count > 0
+        parsed = json.loads(lines[0])
+        assert {"time", "event", "ptype", "channel"} <= set(parsed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketTap(make_net(), max_events=0)

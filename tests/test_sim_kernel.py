@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, fired.append, (2,))
+        queue.push(1.0, fired.append, (1,))
+        queue.push(3.0, fired.append, (3,))
+        order = [queue.pop().time for _ in range(3)]
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_simultaneous_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None)
+        survivor = queue.push(2.0, lambda: None)
+        doomed.cancel()
+        queue.notify_cancelled()
+        assert queue.pop() is survivor
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        queue.notify_cancelled()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        doomed.cancel()
+        queue.notify_cancelled()
+        assert queue.peek_time() == 5.0
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_at_their_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_does_not_fire_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run(until=2.0)
+        assert seen == []
+        assert sim.now == 2.0
+        sim.run(until=6.0)
+        assert seen == ["late"]
+
+    def test_schedule_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(sim.now)
+            if depth:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+        assert sim.pending_events == 0
+
+    def test_double_cancel_is_safe(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending_events == 0
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_args_are_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.1, lambda a, b: seen.append((a, b)), 1, 2)
+        sim.run()
+        assert seen == [(1, 2)]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(1.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b"]

@@ -1,0 +1,48 @@
+"""Tests for simulation-time logging."""
+
+import logging
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.logging import ROOT_NAME, get_logger, set_level
+
+
+@pytest.fixture(autouse=True)
+def reset_level():
+    yield
+    logging.getLogger(ROOT_NAME).setLevel(logging.WARNING)
+
+
+class TestSimLogging:
+    def test_records_carry_sim_time(self, caplog):
+        sim = Simulator()
+        log = get_logger(sim, "test.component")
+        set_level("DEBUG")
+        sim.schedule(1.5, lambda: log.info("tick"))
+        with caplog.at_level(logging.DEBUG, logger=ROOT_NAME):
+            sim.run()
+        record = next(r for r in caplog.records if r.message == "tick")
+        assert record.sim_time == 1.5
+
+    def test_silent_by_default(self, caplog):
+        sim = Simulator()
+        log = get_logger(sim, "quiet")
+        with caplog.at_level(logging.WARNING, logger=ROOT_NAME):
+            log.info("should not appear")
+        assert not [r for r in caplog.records if r.message == "should not appear"]
+
+    def test_new_simulator_replaces_clock(self, caplog):
+        old_sim = Simulator()
+        old_sim.run(until=9.0)
+        new_sim = Simulator()
+        log = get_logger(new_sim, "swap")
+        set_level("DEBUG")
+        with caplog.at_level(logging.DEBUG, logger=ROOT_NAME):
+            log.info("fresh")
+        record = next(r for r in caplog.records if r.message == "fresh")
+        assert record.sim_time == 0.0
+
+    def test_set_level_validates(self):
+        with pytest.raises(ValueError):
+            set_level("CHATTY")

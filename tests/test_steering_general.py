@@ -1,0 +1,69 @@
+"""Unit tests for the composite GeneralSteerer (the paper's conclusion)."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketType
+from repro.steering import make_steerer
+from repro.steering.general import GeneralSteerer, PRIORITY_PIN_BYTES
+
+from tests.test_steering import FakeView, ack_pkt, data_pkt, embb, urllc
+
+
+class TestGeneralSteerer:
+    def steerer(self, **kwargs):
+        return GeneralSteerer(**kwargs)
+
+    def test_registered(self):
+        assert isinstance(make_steerer("general"), GeneralSteerer)
+
+    def test_background_flow_barred_from_ll(self):
+        packet = ack_pkt(flow_priority=2)
+        assert self.steerer().choose(packet, [embb(), urllc()], 0.0) == (0,)
+
+    def test_low_priority_message_kept_off_ll(self):
+        packet = data_pkt(message_priority=1)
+        views = [embb(backlog=1_000_000), urllc()]  # even with eMBB bloated
+        assert self.steerer().choose(packet, views, 0.0) == (0,)
+
+    def test_priority_datagram_pinned_to_ll(self):
+        packet = Packet(
+            flow_id=1, ptype=PacketType.DATAGRAM, payload_bytes=1460,
+            message_priority=0,
+        )
+        views = [embb(), urllc(backlog=30_000)]
+        assert self.steerer().choose(packet, views, 0.0) == (1,)
+
+    def test_small_priority_message_pinned_reliable_stream(self):
+        packet = data_pkt(message_priority=0, message_last=True, message_start=0)
+        packet.seq, packet.end_seq = 0, 2_000
+        views = [embb(), urllc(backlog=30_000)]
+        assert self.steerer().choose(packet, views, 0.0) == (1,)
+
+    def test_large_priority_message_not_pinned(self):
+        """A 'priority' megabyte must not be forced onto 2 Mbps."""
+        packet = data_pkt(message_priority=0, message_last=True, message_start=0)
+        packet.seq, packet.end_seq = PRIORITY_PIN_BYTES * 90, PRIORITY_PIN_BYTES * 100
+        views = [embb(), urllc(backlog=30_000)]
+        assert self.steerer().choose(packet, views, 0.0) == (0,)
+
+    def test_untagged_acks_still_separated(self):
+        assert self.steerer().choose(ack_pkt(), [embb(), urllc()], 0.0) == (1,)
+
+    def test_untagged_bulk_uses_dchannel_logic(self):
+        views = [embb(), urllc(backlog=12_000)]
+        assert self.steerer().choose(data_pkt(), views, 0.0) == (0,)
+
+    def test_retransmissions_prefer_reliable(self):
+        rtx = data_pkt(is_retransmission=True)
+        assert self.steerer().choose(rtx, [embb(), urllc()], 0.0) == (1,)
+
+    def test_single_channel_passthrough(self):
+        assert self.steerer().choose(data_pkt(flow_priority=2), [urllc()], 0.0) == (1,)
+
+    def test_flow_filter_precedes_message_priority(self):
+        """A background flow's 'important' messages still stay off URLLC."""
+        packet = Packet(
+            flow_id=9, ptype=PacketType.DATAGRAM, payload_bytes=500,
+            message_priority=0, flow_priority=2,
+        )
+        assert self.steerer().choose(packet, [embb(), urllc()], 0.0) == (0,)

@@ -1,0 +1,177 @@
+"""Unit tests for the trace substrate."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.mahimahi import read_mahimahi, write_mahimahi
+from repro.traces.model import NetworkTrace, constant_trace
+from repro.traces.catalog import get_trace, list_traces
+from repro.traces.synthetic import (
+    TraceSpec,
+    generate_trace,
+    lowband_driving,
+    lowband_stationary,
+    mmwave_driving,
+)
+from repro.units import mbps, ms, to_ms
+
+
+class TestNetworkTrace:
+    def test_step_lookup(self):
+        trace = NetworkTrace([0.0, 1.0, 2.0], [1e6, 2e6, 3e6], [0.01, 0.02, 0.03])
+        assert trace.rate_at(0.5) == 1e6
+        assert trace.rate_at(1.0) == 2e6
+        assert trace.delay_at(2.9) == 0.03
+
+    def test_wraps_around(self):
+        trace = NetworkTrace([0.0, 1.0], [1e6, 2e6], [0.01, 0.02])
+        assert trace.duration == 2.0
+        assert trace.rate_at(2.5) == 1e6
+        assert trace.rate_at(3.5) == 2e6
+
+    def test_constant_trace(self):
+        trace = constant_trace(mbps(2), ms(2.5))
+        assert trace.rate_at(0) == mbps(2)
+        assert trace.rate_at(1234.5) == mbps(2)
+        assert trace.delay_at(99.9) == ms(2.5)
+
+    def test_mean_rate_is_time_weighted(self):
+        trace = NetworkTrace([0.0, 1.0], [1e6, 3e6], [0.01, 0.01])
+        assert trace.mean_rate() == pytest.approx(2e6)
+
+    def test_percentile_delay(self):
+        trace = NetworkTrace(
+            [float(i) for i in range(5)], [1e6] * 5, [0.01, 0.02, 0.03, 0.04, 0.05]
+        )
+        assert trace.percentile_delay(0) == 0.01
+        assert trace.percentile_delay(100) == 0.05
+        assert trace.percentile_delay(50) == pytest.approx(0.03)
+
+    def test_scaled(self):
+        trace = constant_trace(1e6, 0.01).scaled(rate_factor=2, delay_factor=0.5)
+        assert trace.rate_at(0) == 2e6
+        assert trace.delay_at(0) == 0.005
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            NetworkTrace([], [], [])
+        with pytest.raises(TraceError):
+            NetworkTrace([0.5], [1e6], [0.01])  # must start at 0
+        with pytest.raises(TraceError):
+            NetworkTrace([0.0, 0.0], [1e6, 1e6], [0.01, 0.01])  # not increasing
+        with pytest.raises(TraceError):
+            NetworkTrace([0.0], [-1.0], [0.01])
+        with pytest.raises(TraceError):
+            NetworkTrace([0.0], [1e6], [-0.01])
+        with pytest.raises(TraceError):
+            NetworkTrace([0.0, 1.0], [1e6], [0.01, 0.01])
+
+    def test_negative_query_rejected(self):
+        trace = constant_trace(1e6, 0.01)
+        with pytest.raises(TraceError):
+            trace.rate_at(-1)
+
+
+class TestSyntheticCalibration:
+    """The generated traces must land near the published statistics."""
+
+    def test_lowband_stationary_rate_and_rtt(self):
+        trace = lowband_stationary(seed=1)
+        assert 50 <= trace.mean_rate() / 1e6 <= 70
+        median_rtt_ms = to_ms(trace.percentile_delay(50)) * 2
+        assert 40 <= median_rtt_ms <= 62
+
+    def test_lowband_driving_p98_rtt_near_236ms(self):
+        """DChannel reports 98th-pct probing RTT of 236 ms under driving."""
+        trace = lowband_driving(seed=2)
+        p98_rtt_ms = to_ms(trace.percentile_delay(98)) * 2
+        assert 170 <= p98_rtt_ms <= 300
+
+    def test_driving_is_more_variable_than_stationary(self):
+        stationary = lowband_stationary(seed=1)
+        driving = lowband_driving(seed=2)
+        assert driving.percentile_delay(98) > 2 * stationary.percentile_delay(98)
+        assert driving.min_rate() < stationary.min_rate()
+
+    def test_mmwave_driving_has_outages_below_video_bitrate(self):
+        """Fig. 2 needs blockage periods where rate < 12 Mbps."""
+        trace = mmwave_driving(seed=2)
+        below = sum(1 for r in trace.rates_bps if r < mbps(12))
+        assert below > len(trace.rates_bps) * 0.03
+        assert trace.mean_rate() > mbps(200)
+
+    def test_determinism(self):
+        a = lowband_driving(seed=9)
+        b = lowband_driving(seed=9)
+        assert a.rates_bps == b.rates_bps
+        assert a.delays == b.delays
+
+    def test_seeds_give_different_realizations(self):
+        assert lowband_driving(seed=1).rates_bps != lowband_driving(seed=2).rates_bps
+
+    def test_spec_validation(self):
+        with pytest.raises(TraceError):
+            generate_trace(TraceSpec(name="bad", duration=0))
+        with pytest.raises(TraceError):
+            generate_trace(TraceSpec(name="bad", mean_rate_bps=0))
+        with pytest.raises(TraceError):
+            generate_trace(TraceSpec(name="bad", smoothing=1.0))
+        with pytest.raises(TraceError):
+            generate_trace(TraceSpec(name="bad", dt=200.0))
+
+
+class TestCatalog:
+    def test_catalog_names(self):
+        names = list_traces()
+        assert "5g-lowband-driving" in names
+        assert "urllc" in names
+
+    def test_get_trace_by_name(self):
+        trace = get_trace("urllc")
+        assert trace.rate_at(0) == mbps(2)
+        assert trace.delay_at(0) == ms(2.5)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TraceError):
+            get_trace("4g-magic")
+
+    def test_seed_passthrough(self):
+        assert get_trace("5g-lowband-driving", seed=5).rates_bps != get_trace(
+            "5g-lowband-driving", seed=6
+        ).rates_bps
+
+
+class TestMahimahi:
+    def test_round_trip_preserves_mean_rate(self, tmp_path):
+        trace = constant_trace(mbps(12), ms(25))
+        path = tmp_path / "trace.txt"
+        count = write_mahimahi(trace, str(path), duration=5.0)
+        assert count == pytest.approx(5.0 * mbps(12) / (1500 * 8), rel=0.01)
+        loaded = read_mahimahi(str(path), delay=ms(25))
+        assert loaded.mean_rate() == pytest.approx(mbps(12), rel=0.05)
+        assert loaded.delay_at(0) == ms(25)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_mahimahi(str(path))
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\ntwo\n3\n")
+        with pytest.raises(TraceError):
+            read_mahimahi(str(path))
+
+    def test_read_rejects_unsorted(self, tmp_path):
+        path = tmp_path / "unsorted.txt"
+        path.write_text("5\n3\n")
+        with pytest.raises(TraceError):
+            read_mahimahi(str(path))
+
+    def test_read_variable_rate(self, tmp_path):
+        path = tmp_path / "var.txt"
+        # 10 opportunities in the first 100 ms, none in the second bucket.
+        path.write_text("\n".join(str(i * 10) for i in range(10)) + "\n150\n")
+        trace = read_mahimahi(str(path), bucket=0.1)
+        assert trace.rate_at(0.05) > trace.rate_at(0.15) > 0

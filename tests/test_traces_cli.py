@@ -1,0 +1,37 @@
+"""Tests for the trace tooling CLI."""
+
+import pytest
+
+from repro.traces.cli import main
+
+
+class TestTraceCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "5g-lowband-driving" in out
+        assert "urllc" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "5g-lowband-driving", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Mbps" in out and "p98" in out
+
+    def test_export_then_import_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "urllc.trace"
+        assert main(["export", "urllc", str(path), "--duration", "3"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["import", str(path), "--delay-ms", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "2.0 Mbps" in out or "Mbps" in out
+
+    def test_unknown_trace_errors(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            main(["show", "6g-hype"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

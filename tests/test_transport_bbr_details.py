@@ -1,0 +1,88 @@
+"""Focused tests for BBR's aggregation compensation and filter windows."""
+
+import pytest
+
+from repro.transport.cc.base import AckSample
+from repro.transport.cc.bbr import Bbr, BTLBW_WINDOW_ROUNDS
+
+MSS = 1460
+
+
+def ack(now, rtt=0.05, newly=MSS, in_flight=100 * MSS, rate=50e6, delivered=0):
+    return AckSample(
+        now=now,
+        rtt=rtt,
+        newly_acked=newly,
+        in_flight=in_flight,
+        delivery_rate=rate,
+        total_delivered=delivered,
+    )
+
+
+class TestExtraAcked:
+    def test_smooth_acks_add_no_extra(self):
+        """ACKs matching btlbw leave extra_acked near zero."""
+        cc = Bbr(MSS)
+        delivered = 0
+        # Establish btlbw ≈ 50 Mbps = 6.25 MB/s, acks arriving exactly at
+        # that rate: one MSS every 1460 / 6.25e6 s.
+        step = MSS / 6.25e6
+        now = 0.0
+        for _ in range(500):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+            now += step
+        assert cc.extra_acked_bytes < 3 * MSS
+
+    def test_ack_bursts_grow_cwnd_headroom(self):
+        """Batched ACK arrivals (aggregation) inflate the cwnd allowance."""
+        cc = Bbr(MSS)
+        delivered = 0
+        now = 0.0
+        for _ in range(200):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+            now += MSS / 6.25e6
+        smooth_cwnd = cc.cwnd_bytes
+        # Now a silent gap followed by one burst of 40 segments at once.
+        now += 0.05
+        for _ in range(40):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+        assert cc.extra_acked_bytes > 10 * MSS
+        assert cc.cwnd_bytes > smooth_cwnd
+
+    def test_extra_acked_expires_with_rounds(self):
+        cc = Bbr(MSS)
+        delivered = 0
+        now = 0.0
+        for _ in range(100):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+            now += MSS / 6.25e6
+        now += 0.05
+        for _ in range(40):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+        inflated = cc.extra_acked_bytes
+        # Enough smooth time for the measurement interval to reset (>1 s)
+        # plus enough rounds for the burst sample to age out of the window.
+        for _ in range(BTLBW_WINDOW_ROUNDS * 600):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+            now += MSS / 6.25e6
+        assert cc.extra_acked_bytes < inflated
+
+
+class TestTimeoutReset:
+    def test_timeout_restarts_startup(self):
+        cc = Bbr(MSS)
+        delivered = 0
+        now = 0.0
+        for _ in range(2000):
+            delivered += MSS
+            cc.on_ack(ack(now=now, delivered=delivered))
+            now += 0.005
+        cc.on_timeout(now=now)
+        assert cc.state == Bbr.STARTUP
+        assert cc.btlbw_bytes_per_s == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the Copa congestion controller."""
+
+import pytest
+
+from repro.apps.bulk import BulkTransfer
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+from repro.transport.cc import make_cc
+from repro.transport.cc.base import AckSample
+from repro.transport.cc.copa import Copa
+from repro.units import mbps, to_mbps
+
+MSS = 1460
+
+
+def ack(now, rtt, newly=MSS):
+    return AckSample(
+        now=now, rtt=rtt, newly_acked=newly, in_flight=10 * MSS,
+        delivery_rate=None, total_delivered=0,
+    )
+
+
+class TestCopaUnit:
+    def test_registered(self):
+        assert isinstance(make_cc("copa", mss=MSS), Copa)
+        assert make_cc("hvc-copa", mss=MSS).name == "hvc-copa"
+
+    def test_low_queue_delay_grows_window(self):
+        cc = Copa(MSS)
+        start = cc.cwnd_bytes
+        now = 0.0
+        for _ in range(500):
+            cc.on_ack(ack(now, rtt=0.0501))  # ~0.1 ms standing queue
+            now += 0.005
+        assert cc.cwnd_bytes > 2 * start
+
+    def test_large_standing_queue_shrinks_window(self):
+        cc = Copa(MSS)
+        now = 0.0
+        for _ in range(200):
+            cc.on_ack(ack(now, rtt=0.050))
+            now += 0.005
+        grown = cc.cwnd_bytes
+        # Poisoned floor then persistent 45 ms of "queueing".
+        cc.on_ack(ack(now, rtt=0.005))
+        for _ in range(500):
+            now += 0.005
+            cc.on_ack(ack(now, rtt=0.050))
+        assert cc.cwnd_bytes < grown
+
+    def test_velocity_resets_on_direction_change(self):
+        cc = Copa(MSS)
+        now = 0.0
+        for _ in range(100):
+            cc.on_ack(ack(now, rtt=0.0501))
+            now += 0.005
+        velocity = cc._velocity
+        assert velocity > 1.0
+        cc._rtt_min = 0.005  # poisoned floor: queueing now looks huge
+        for _ in range(10):
+            now += 0.005
+            cc.on_ack(ack(now, rtt=0.060))
+        assert cc._velocity < velocity
+        assert cc._direction == -1
+
+    def test_timeout_collapses(self):
+        cc = Copa(MSS)
+        cc._cwnd = 100 * MSS
+        cc.on_timeout(now=1.0)
+        assert cc.cwnd_bytes == 2 * MSS
+
+    def test_paced(self):
+        assert Copa(MSS).pacing_rate_bps > 0
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            Copa(MSS, delta=0)
+
+
+class TestCopaEndToEnd:
+    def test_fills_clean_single_channel_reasonably(self):
+        net = HvcNetwork([fixed_embb_spec(rate_bps=mbps(20))], steering="single")
+        bulk = BulkTransfer(net, cc="copa")
+        net.run(until=15.0)
+        achieved = to_mbps(bulk.mean_throughput_bps(start=5.0))
+        assert achieved > 10.0  # > 10 of the 20 Mbps
+
+    def test_collapses_under_dchannel_steering(self):
+        """Copa joins the Fig. 1 victims: poisoned RTT floor, tiny target."""
+        steered = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="dchannel")
+        bulk = BulkTransfer(steered, cc="copa")
+        steered.run(until=20.0)
+        steered_mbps = to_mbps(bulk.mean_throughput_bps(start=5.0))
+        assert steered_mbps < 15  # far below the 60 Mbps channel

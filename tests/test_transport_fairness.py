@@ -1,0 +1,41 @@
+"""Fairness and coexistence tests for the transport."""
+
+import pytest
+
+from repro.apps.bulk import BulkTransfer
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec
+from repro.units import mbps, to_mbps
+
+
+class TestFairness:
+    def shares(self, cc_a, cc_b, duration=20.0):
+        net = HvcNetwork([fixed_embb_spec(rate_bps=mbps(40))], steering="single")
+        a = BulkTransfer(net, cc=cc_a)
+        b = BulkTransfer(net, cc=cc_b)
+        net.run(until=duration)
+        return (
+            to_mbps(a.mean_throughput_bps(start=duration / 2, end=duration)),
+            to_mbps(b.mean_throughput_bps(start=duration / 2, end=duration)),
+        )
+
+    def test_two_cubic_flows_share_fairly(self):
+        # CUBIC's fast-convergence equalizes slowly under synchronized
+        # drop-tail losses; judge the last 10 s of a 50 s run.
+        a, b = self.shares("cubic", "cubic", duration=50.0)
+        assert a + b > 30  # the pair still fills most of the 40 Mbps pipe
+        assert max(a, b) < 2.5 * min(a, b)
+
+    def test_two_bbr_flows_share_fairly(self):
+        a, b = self.shares("bbr", "bbr")
+        assert a + b > 25
+        assert max(a, b) < 3 * min(a, b)
+
+    def test_late_joiner_gets_a_share(self):
+        net = HvcNetwork([fixed_embb_spec(rate_bps=mbps(40))], steering="single")
+        first = BulkTransfer(net, cc="cubic")
+        net.run(until=5.0)
+        second = BulkTransfer(net, cc="cubic")
+        net.run(until=25.0)
+        second_share = to_mbps(second.mean_throughput_bps(start=15.0, end=25.0))
+        assert second_share > 5  # not starved by the incumbent

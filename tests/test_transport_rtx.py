@@ -1,0 +1,87 @@
+"""Unit tests for RTT estimation / RTO."""
+
+import pytest
+
+from repro.transport.rtx import INITIAL_RTO, RttEstimator
+
+
+class TestRttEstimator:
+    def test_initial_rto(self):
+        assert RttEstimator().rto == INITIAL_RTO
+
+    def test_first_sample_initializes(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        assert est.srtt == 0.1
+        assert est.rttvar == 0.05
+        assert est.min_rtt == 0.1
+        assert est.latest_rtt == 0.1
+
+    def test_rto_is_srtt_plus_4_rttvar(self):
+        est = RttEstimator(min_rto=0.0001)
+        est.on_sample(0.1)
+        assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_smoothing_converges(self):
+        est = RttEstimator()
+        for _ in range(100):
+            est.on_sample(0.05)
+        assert est.srtt == pytest.approx(0.05, rel=1e-3)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_min_rto_floor(self):
+        est = RttEstimator(min_rto=0.2)
+        for _ in range(20):
+            est.on_sample(0.005)
+        assert est.rto == 0.2
+
+    def test_min_rtt_tracks_minimum(self):
+        est = RttEstimator()
+        for rtt in (0.1, 0.05, 0.2):
+            est.on_sample(rtt)
+        assert est.min_rtt == 0.05
+
+    def test_timeout_backoff_doubles(self):
+        est = RttEstimator(min_rto=0.2)
+        est.on_sample(0.1)
+        base = est.rto
+        est.on_timeout()
+        assert est.rto == pytest.approx(2 * base)
+        est.on_timeout()
+        assert est.rto == pytest.approx(4 * base)
+
+    def test_sample_resets_backoff(self):
+        est = RttEstimator(min_rto=0.2)
+        est.on_sample(0.1)
+        base = est.rto
+        est.on_timeout()
+        est.on_sample(0.1)
+        assert est.rto == pytest.approx(base, rel=0.2)
+
+    def test_max_rto_cap(self):
+        est = RttEstimator(min_rto=0.2, max_rto=1.0)
+        for _ in range(10):
+            est.on_timeout()
+        assert est.rto == 1.0
+
+    def test_variance_grows_with_jitter(self):
+        steady = RttEstimator()
+        jittery = RttEstimator()
+        for i in range(50):
+            steady.on_sample(0.1)
+            jittery.on_sample(0.05 if i % 2 else 0.15)
+        assert jittery.rto > steady.rto
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=0)
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=1.0, max_rto=0.5)
+        with pytest.raises(ValueError):
+            RttEstimator().on_sample(0)
+
+    def test_sample_counter(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        est.on_sample(0.1)
+        assert est.samples == 2
