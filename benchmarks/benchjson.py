@@ -1,0 +1,68 @@
+"""Machine-readable benchmark records.
+
+Every ``benchmarks/test_bench_*.py`` calls :func:`record` after its timed
+run, producing ``BENCH_<name>.json`` next to the benchmark files (or under
+``$REPRO_BENCH_DIR``). Each record carries wall-clock seconds plus — when
+the workload is a simulation — the kernel event count and derived
+events/sec, so perf changes across commits can be diffed mechanically
+instead of eyeballed from pytest-benchmark tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment override for where BENCH_*.json files land.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def bench_dir() -> Path:
+    override = os.environ.get(BENCH_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent
+
+
+def record(
+    name: str,
+    seconds: float,
+    events_processed: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    payload: Dict[str, Any] = {
+        "benchmark": name,
+        "wall_seconds": round(seconds, 6),
+    }
+    if events_processed is not None:
+        payload["events_processed"] = events_processed
+        payload["events_per_second"] = (
+            round(events_processed / seconds, 1) if seconds > 0 else None
+        )
+    if extra:
+        payload.update(extra)
+    directory = bench_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@contextmanager
+def timed():
+    """``with timed() as t: ...`` then read ``t.seconds``."""
+
+    class _Timer:
+        seconds = 0.0
+
+    timer = _Timer()
+    start = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - start

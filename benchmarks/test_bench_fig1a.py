@@ -8,6 +8,7 @@ CCA collapses.
 
 import pytest
 
+from benchjson import record, timed
 from repro.experiments.fig1 import run_fig1a
 
 DURATION = 30.0
@@ -15,7 +16,10 @@ DURATION = 30.0
 
 @pytest.fixture(scope="module")
 def fig1a_result():
-    return run_fig1a(duration=DURATION)
+    with timed() as t:
+        result = run_fig1a(duration=DURATION)
+    record("fig1a", t.seconds, events_processed=result.events_processed)
+    return result
 
 
 def test_bench_fig1a(benchmark, fig1a_result):

@@ -7,6 +7,7 @@ above the base RTT.
 
 import pytest
 
+from benchjson import record, timed
 from repro.experiments.fig1 import run_fig1b
 
 DURATION = 30.0
@@ -14,7 +15,10 @@ DURATION = 30.0
 
 @pytest.fixture(scope="module")
 def fig1b_result():
-    return run_fig1b(duration=DURATION)
+    with timed() as t:
+        result = run_fig1b(duration=DURATION)
+    record("fig1b", t.seconds, events_processed=result.events_processed)
+    return result
 
 
 def test_bench_fig1b(benchmark, fig1b_result):

@@ -7,6 +7,7 @@ turn beats eMBB-only) while paying a small SSIM cost relative to eMBB-only.
 
 import pytest
 
+from benchjson import record, timed
 from repro.experiments.fig2 import run_fig2
 
 DURATION = 60.0
@@ -14,7 +15,10 @@ DURATION = 60.0
 
 @pytest.fixture(scope="module")
 def fig2_result():
-    return run_fig2(duration=DURATION)
+    with timed() as t:
+        result = run_fig2(duration=DURATION)
+    record("fig2", t.seconds, events_processed=result.events_processed)
+    return result
 
 
 def test_bench_fig2(benchmark, fig2_result):

@@ -1,0 +1,86 @@
+"""Benchmark: the parallel runner and result cache on real simulation units.
+
+Four equal-cost Fig. 1 bulk-flow units run three ways: serially, fanned
+out over four worker processes, and replayed from a warm cache.
+``BENCH_runner.json`` records all three wall-clocks so the speedup is
+tracked across commits. The >=2x parallel-speedup assertion is gated on
+the machine actually having cores to parallelize over; the cache
+assertion — a warm rerun costs <10 % of a cold run — holds anywhere.
+"""
+
+import os
+
+import pytest
+
+from benchjson import record, timed
+from repro.runner import ParallelRunner, ResultCache, RunUnit
+
+UNIT_SECONDS = 2.0  # per-unit simulated duration (~2 s wall each for cubic)
+UNITS = [
+    RunUnit.make(
+        "fig1-cca",
+        "repro.experiments.fig1:fig1a_unit",
+        seed=seed,
+        cc="cubic",
+        duration=UNIT_SECONDS,
+    )
+    for seed in range(4)
+]
+
+
+def test_bench_runner(benchmark, tmp_path):
+    with timed() as serial_t:
+        serial = benchmark.pedantic(
+            lambda: ParallelRunner(jobs=1).run(UNITS), rounds=1, iterations=1
+        )
+
+    with timed() as parallel_t:
+        fanned = ParallelRunner(jobs=4).run(UNITS)
+
+    cache = ResultCache(tmp_path / "cache")
+    with timed() as cold_t:
+        cold = ParallelRunner(jobs=1, cache=cache).run(UNITS)
+    warm_runner = ParallelRunner(jobs=1, cache=cache)
+    with timed() as warm_t:
+        warm = warm_runner.run(UNITS)
+
+    # Determinism first: every execution mode returns identical payloads.
+    assert fanned == serial
+    assert cold == serial
+    assert warm == serial
+    assert warm_runner.cache_hits == len(UNITS)
+    assert warm_runner.executed == 0
+
+    events = sum(payload["events"] for payload in serial)
+    speedup = serial_t.seconds / parallel_t.seconds
+    warm_fraction = warm_t.seconds / cold_t.seconds
+    record(
+        "runner",
+        serial_t.seconds,
+        events_processed=events,
+        extra={
+            "units": len(UNITS),
+            "serial_seconds": round(serial_t.seconds, 3),
+            "parallel_jobs4_seconds": round(parallel_t.seconds, 3),
+            "parallel_speedup": round(speedup, 2),
+            "cold_cached_seconds": round(cold_t.seconds, 3),
+            "warm_cache_seconds": round(warm_t.seconds, 3),
+            "warm_over_cold": round(warm_fraction, 4),
+            "cpu_count": os.cpu_count(),
+        },
+    )
+    print()
+    print(f"  serial (jobs=1): {serial_t.seconds:6.2f} s")
+    print(f"  fanned (jobs=4): {parallel_t.seconds:6.2f} s  "
+          f"({speedup:.2f}x, {os.cpu_count()} cores)")
+    print(f"  cold cached    : {cold_t.seconds:6.2f} s")
+    print(f"  warm cached    : {warm_t.seconds:6.2f} s  "
+          f"({100 * warm_fraction:.1f}% of cold)")
+
+    # A warm cache replays results without simulating anything.
+    assert warm_fraction < 0.10, (warm_t.seconds, cold_t.seconds)
+    # With real cores available, four workers must at least halve the
+    # wall-clock. On boxes without them, the measured speedup still lands
+    # in BENCH_runner.json for the record.
+    if os.cpu_count() >= 4:
+        assert speedup >= 2.0, speedup

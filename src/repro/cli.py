@@ -4,8 +4,16 @@ Examples::
 
     python -m repro fig1a
     python -m repro fig2 --duration 30
-    python -m repro table1 --pages 10
-    python -m repro all --quick
+    python -m repro table1 --pages 10 --jobs 4
+    python -m repro all --quick --jobs 8
+    python -m repro fig1a --no-cache
+    python -m repro sweep-urllc-bw --cache-dir /tmp/repro-cache
+
+Every experiment decomposes into independent simulation units executed
+through :class:`repro.runner.ParallelRunner`: ``--jobs N`` fans units out
+over N worker processes (results are merged deterministically, so output
+is identical to a serial run), and units are memoized in a
+content-addressed cache so repeated runs skip already-computed work.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS
+from repro.runner import ParallelRunner, ResultCache, default_cache_dir
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,11 +51,39 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="short runs (smoke-test scale, not paper scale)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run simulation units on N worker processes (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every unit instead of reusing the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "result cache location (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)"
+        ),
+    )
     return parser
 
 
-def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
-    kwargs: dict = {"seed": args.seed}
+def _runner_for(args: argparse.Namespace) -> ParallelRunner:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return ParallelRunner(jobs=args.jobs, cache=cache)
+
+
+def _kwargs_for(name: str, args: argparse.Namespace, runner: ParallelRunner) -> dict:
+    kwargs: dict = {"seed": args.seed, "runner": runner}
     duration = args.duration
     if args.quick and duration is None:
         duration = 10.0
@@ -63,13 +100,23 @@ def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    runner = _runner_for(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        runner = EXPERIMENTS[name]
-        result = runner(**_kwargs_for(name, args))
+        run = EXPERIMENTS[name]
+        result = run(**_kwargs_for(name, args, runner))
         print(result.render())
         print()
+    if runner.cache is not None and (runner.cache_hits or runner.executed):
+        print(
+            f"[runner] jobs={runner.jobs} units={runner.cache_hits + runner.executed} "
+            f"cache_hits={runner.cache_hits} executed={runner.executed} "
+            f"cache={runner.cache.root}"
+        )
     return 0
 
 

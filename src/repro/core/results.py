@@ -116,6 +116,10 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     #: Free-form numeric outputs for programmatic assertions.
     values: Dict[str, float] = field(default_factory=dict)
+    #: Total kernel events across every simulation unit this experiment ran.
+    #: Deterministic for a given seed, so it doubles as a replay checksum;
+    #: benchmarks divide it by wall-clock for events/sec.
+    events_processed: int = 0
 
     def render(self) -> str:
         parts = [f"=== {self.name} ==="]

@@ -53,3 +53,12 @@ class ScenarioError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment definition cannot be run as configured."""
+
+
+class RunnerError(ReproError):
+    """Raised when the parallel experiment runner cannot execute a unit.
+
+    Examples: a unit function path that does not resolve, parameters that
+    cannot be hashed into a cache key, or a worker-process failure (the
+    original exception is attached as ``__cause__``).
+    """

@@ -28,6 +28,7 @@ from repro.net.hvc import (
     wifi_mlo_specs,
     wifi_tsn_spec,
 )
+from repro.runner import ParallelRunner, RunUnit
 from repro.steering.cost import CostAwareSteerer
 from repro.steering.redundant import RedundantSteerer
 from repro.steering.single import SingleChannelSteerer
@@ -36,14 +37,19 @@ from repro.transport.connection import Connection
 from repro.transport.multipath import MultipathConnection
 from repro.units import kb, to_mbps, to_ms
 
-from repro.experiments.fig1 import run_single_cca
+from repro.experiments.fig1 import fig1a_units, run_single_cca
 
 
 # ----------------------------------------------------------------------
 # ab-cc: HVC-aware congestion control rescues delay-based CCAs
 # ----------------------------------------------------------------------
-def run_cc_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentResult:
+def run_cc_ablation(
+    duration: float = 30.0,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     """Fig. 1 setup, each delay-based CCA vs its HVC-aware wrapper."""
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-cc",
         description=(
@@ -55,11 +61,19 @@ def run_cc_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentResult:
         ["CCA", "plain (Mbps)", "hvc-aware (Mbps)", "recovery"],
         title="HVC-aware congestion control",
     )
-    for cc in ("bbr", "vegas", "vivace"):
-        plain = run_single_cca(cc, duration=duration, seed=seed)
-        aware = run_single_cca(f"hvc-{cc}", duration=duration, seed=seed)
-        plain_mbps = to_mbps(plain.mean_throughput_bps(end=duration))
-        aware_mbps = to_mbps(aware.mean_throughput_bps(end=duration))
+    ccas = ("bbr", "vegas", "vivace")
+    # Interleave plain/aware per CCA; the units are the same family as
+    # Fig. 1a's, so a fig1a run warms this ablation's cache (and vice versa).
+    ordered = [name for cc in ccas for name in (cc, f"hvc-{cc}")]
+    payloads = dict(
+        zip(ordered, runner.run(fig1a_units(ordered, duration, seed)))
+    )
+    for cc in ccas:
+        plain_mbps = payloads[cc]["mbps"]
+        aware_mbps = payloads[f"hvc-{cc}"]["mbps"]
+        result.events_processed += (
+            payloads[cc]["events"] + payloads[f"hvc-{cc}"]["events"]
+        )
         result.values[f"{cc}:plain"] = plain_mbps
         result.values[f"{cc}:aware"] = aware_mbps
         table.add_row(cc, plain_mbps, aware_mbps, f"{aware_mbps / plain_mbps:.1f}x")
@@ -81,11 +95,12 @@ def _request_response_latencies(
     ack_bytes: int = 0,
     background: bool = True,
     seed: int = 0,
-) -> List[float]:
+) -> Tuple[List[float], int]:
     """Round-trip times of sequential request→response exchanges.
 
-    An optional bulk background flow keeps the eMBB queue occupied so
-    control-packet placement matters (an idle network hides it).
+    Returns ``(latencies, kernel_events)``. An optional bulk background
+    flow keeps the eMBB queue occupied so control-packet placement matters
+    (an idle network hides it).
     """
     net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering=steering, seed=seed)
     if background:
@@ -123,11 +138,22 @@ def _request_response_latencies(
     deadline = net.now + 120.0
     while len(latencies) < count and net.now < deadline and net.sim.pending_events:
         net.run(until=min(net.now + 1.0, deadline))
-    return latencies
+    return latencies, net.sim.events_processed
 
 
-def run_ack_ablation(seed: int = 0) -> ExperimentResult:
+def ack_unit(policy: str = "dchannel", ack_bytes: int = 0, seed: int = 0) -> dict:
+    """One request-response latency measurement (runner unit)."""
+    latencies, events = _request_response_latencies(
+        policy, ack_bytes=ack_bytes, seed=seed
+    )
+    return {"latencies": latencies, "events": events}
+
+
+def run_ack_ablation(
+    seed: int = 0, runner: Optional[ParallelRunner] = None
+) -> ExperimentResult:
     """Request-response latency: DChannel vs transport-aware steering."""
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-ack",
         description=(
@@ -146,11 +172,21 @@ def run_ack_ablation(seed: int = 0) -> ExperimentResult:
         ("dchannel fat-acks", "dchannel", 600),
         ("transport-aware", "transport-aware", 0),
     ]
-    for label, policy, ack_bytes in configs:
-        latencies = _request_response_latencies(
-            policy, ack_bytes=ack_bytes, seed=seed
-        )
-        cdf = Cdf(latencies)
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "ab-ack",
+                "repro.experiments.ablations:ack_unit",
+                seed=seed,
+                policy=policy,
+                ack_bytes=ack_bytes,
+            )
+            for _, policy, ack_bytes in configs
+        ]
+    )
+    for (label, _, _), payload in zip(configs, payloads):
+        cdf = Cdf(payload["latencies"])
+        result.events_processed += payload["events"]
         result.values[f"{label}:p50_ms"] = to_ms(cdf.median)
         result.values[f"{label}:p95_ms"] = to_ms(cdf.percentile(95))
         table.add_row(label, to_ms(cdf.median), to_ms(cdf.percentile(95)))
@@ -164,8 +200,48 @@ def run_ack_ablation(seed: int = 0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # ab-mlo: replication trades bandwidth for reliability
 # ----------------------------------------------------------------------
-def run_mlo_ablation(duration: float = 20.0, seed: int = 0) -> ExperimentResult:
+#: Steering policies the MLO ablation compares, by picklable key.
+MLO_POLICIES = ("single-link", "spray (min-rtt)", "replicate")
+
+
+def mlo_unit(policy: str = "replicate", duration: float = 20.0, seed: int = 0) -> dict:
+    """One MLO delivery/goodput measurement (runner unit)."""
+    from repro.sim.timers import PeriodicTimer
+
+    steering = {
+        "single-link": lambda: SingleChannelSteerer(index=0),
+        "spray (min-rtt)": lambda: "min-rtt",
+        "replicate": lambda: RedundantSteerer(mode="all"),
+    }[policy]()
+    net = HvcNetwork(list(wifi_mlo_specs()), steering=steering, seed=seed)
+    received = []
+    pair = net.open_datagram(on_server_message=received.append)
+    sent = 0
+    message_bytes = kb(10)
+
+    def send_burst():
+        nonlocal sent
+        pair.client.send_message(message_bytes, message_id=sent)
+        sent += 1
+
+    timer = PeriodicTimer(net.sim, 0.005, send_burst, start_delay=0.0)
+    net.run(until=duration)
+    timer.stop()
+    net.run(until=duration + 1.0)
+    return {
+        "delivered": len(received) / max(sent, 1),
+        "goodput_mbps": to_mbps(len(received) * message_bytes * 8 / duration),
+        "events": net.sim.events_processed,
+    }
+
+
+def run_mlo_ablation(
+    duration: float = 20.0,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     """Two lossy Wi-Fi MLO links: replicate vs spray vs single link."""
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-mlo",
         description=(
@@ -177,34 +253,25 @@ def run_mlo_ablation(duration: float = 20.0, seed: int = 0) -> ExperimentResult:
         ["policy", "delivered %", "goodput (Mbps)"],
         title="Wi-Fi MLO bandwidth-vs-reliability",
     )
-    policies = {
-        "single-link": SingleChannelSteerer(index=0),
-        "spray (min-rtt)": "min-rtt",
-        "replicate": RedundantSteerer(mode="all"),
-    }
-    for label, steering in policies.items():
-        net = HvcNetwork(list(wifi_mlo_specs()), steering=steering, seed=seed)
-        received = []
-        pair = net.open_datagram(on_server_message=received.append)
-        sent = 0
-        message_bytes = kb(10)
-
-        def send_burst():
-            nonlocal sent
-            pair.client.send_message(message_bytes, message_id=sent)
-            sent += 1
-
-        from repro.sim.timers import PeriodicTimer
-
-        timer = PeriodicTimer(net.sim, 0.005, send_burst, start_delay=0.0)
-        net.run(until=duration)
-        timer.stop()
-        net.run(until=duration + 1.0)
-        delivered_fraction = len(received) / max(sent, 1)
-        goodput = len(received) * message_bytes * 8 / duration
-        result.values[f"{label}:delivered"] = delivered_fraction
-        result.values[f"{label}:goodput_mbps"] = to_mbps(goodput)
-        table.add_row(label, f"{100 * delivered_fraction:.1f}", to_mbps(goodput))
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "ab-mlo",
+                "repro.experiments.ablations:mlo_unit",
+                seed=seed,
+                policy=label,
+                duration=duration,
+            )
+            for label in MLO_POLICIES
+        ]
+    )
+    for label, payload in zip(MLO_POLICIES, payloads):
+        result.events_processed += payload["events"]
+        result.values[f"{label}:delivered"] = payload["delivered"]
+        result.values[f"{label}:goodput_mbps"] = payload["goodput_mbps"]
+        table.add_row(
+            label, f"{100 * payload['delivered']:.1f}", payload["goodput_mbps"]
+        )
     result.tables.append(table)
     result.notes.append(
         "shape check: replicate has the highest delivery rate; spray has the "
@@ -218,7 +285,7 @@ def run_mlo_ablation(duration: float = 20.0, seed: int = 0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 def _multipath_mixed_workload(
     scheduler: str, duration: float = 20.0, seed: int = 0
-) -> Tuple[float, List[float]]:
+) -> Tuple[float, List[float], int]:
     """A backlogged bulk connection plus a small-RPC connection, both
     multipath with the given scheduler; returns (bulk goodput bps, rpc
     latencies). The interesting effect is contention: what the bulk
@@ -271,16 +338,33 @@ def _multipath_mixed_workload(
     delivered_at_end = bulk_sender.delivered_timeline[-1][1]
     net.run(until=duration + 2.0)
     goodput = (delivered_at_end - delivered_at_warmup) * 8 / (duration - warmup)
-    return goodput, rpc_latencies
+    return goodput, rpc_latencies, net.sim.events_processed
 
 
-def run_multipath_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentResult:
+def mp_unit(scheduler: str = "hvc", duration: float = 30.0, seed: int = 0) -> dict:
+    """One multipath mixed-workload measurement (runner unit)."""
+    goodput, latencies, events = _multipath_mixed_workload(
+        scheduler, duration=duration, seed=seed
+    )
+    return {
+        "goodput_mbps": to_mbps(goodput),
+        "latencies": latencies,
+        "events": events,
+    }
+
+
+def run_multipath_ablation(
+    duration: float = 30.0,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     """§4 design: per-channel subflows + schedulers vs single-path steering.
 
     Interleaved messages on a backlogged connection measure how well each
     approach accelerates the bytes an application is waiting on while
     filling the fat channel.
     """
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-mp",
         description=(
@@ -292,14 +376,27 @@ def run_multipath_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentR
         ["scheduler", "bulk goodput (Mbps)", "rpc p95 (ms)"],
         title="Multipath schedulers, mixed workload",
     )
-    for scheduler in ("minrtt", "hvc"):
-        goodput, latencies = _multipath_mixed_workload(
-            scheduler, duration=duration, seed=seed
-        )
-        cdf = Cdf(latencies)
-        result.values[f"{scheduler}:goodput_mbps"] = to_mbps(goodput)
+    schedulers = ("minrtt", "hvc")
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "ab-mp",
+                "repro.experiments.ablations:mp_unit",
+                seed=seed,
+                scheduler=scheduler,
+                duration=duration,
+            )
+            for scheduler in schedulers
+        ]
+    )
+    for scheduler, payload in zip(schedulers, payloads):
+        cdf = Cdf(payload["latencies"])
+        result.events_processed += payload["events"]
+        result.values[f"{scheduler}:goodput_mbps"] = payload["goodput_mbps"]
         result.values[f"{scheduler}:rpc_p95_ms"] = to_ms(cdf.percentile(95))
-        table.add_row(scheduler, to_mbps(goodput), to_ms(cdf.percentile(95)))
+        table.add_row(
+            scheduler, payload["goodput_mbps"], to_ms(cdf.percentile(95))
+        )
     result.tables.append(table)
     result.notes.append(
         "shape check: the hvc scheduler should match minRTT's goodput while "
@@ -311,7 +408,65 @@ def run_multipath_ablation(duration: float = 30.0, seed: int = 0) -> ExperimentR
 # ----------------------------------------------------------------------
 # ab-tsn: Wi-Fi TSN's express lane is paid for by other users (§2.2)
 # ----------------------------------------------------------------------
-def run_tsn_ablation(duration: float = 10.0, seed: int = 0) -> ExperimentResult:
+def tsn_unit(express_mbps: float = 0.0, duration: float = 10.0, seed: int = 0) -> dict:
+    """Bystander RPC latency under one express load level (runner unit)."""
+    from repro.net.packet import Packet, PacketType
+    from repro.sim.timers import PeriodicTimer
+
+    net = HvcNetwork([wifi_tsn_spec()], steering="single", seed=seed)
+
+    # User A: time-critical express traffic (control-class datagrams).
+    express_bytes = 250  # URLLC-sized small packets
+    if express_mbps > 0:
+        # The express stream loads both directions (two TSN talkers).
+        interval = 2 * express_bytes * 8 / (express_mbps * 1e6)
+
+        def inject() -> None:
+            up = Packet(flow_id=999, ptype=PacketType.PROBE)
+            up.header_bytes = express_bytes
+            net.client.send(up)
+            down = Packet(flow_id=998, ptype=PacketType.PROBE)
+            down.header_bytes = express_bytes
+            net.server.send(down)
+
+        PeriodicTimer(net.sim, interval, inject, start_delay=0.0)
+        net.server.set_default_handler(lambda p: None)
+        net.client.set_default_handler(lambda p: None)
+
+    # User B: request/response RPCs in the normal band.
+    latencies: List[float] = []
+    state = {"started": 0.0}
+    flow_id = next_flow_id()
+
+    def on_reply(receipt):
+        latencies.append(net.now - state["started"])
+        issue()
+
+    client = Connection(net.sim, net.client, flow_id, cc="cubic", on_message=on_reply)
+
+    def on_request(receipt):
+        server.send_message(kb(20), message_id=receipt.message_id + 5000)
+
+    server = Connection(net.sim, net.server, flow_id, cc="cubic", on_message=on_request)
+
+    def issue():
+        if len(latencies) >= 50:
+            return
+        state["started"] = net.now
+        client.send_message(kb(1), message_id=len(latencies))
+
+    issue()
+    while len(latencies) < 50 and net.now < duration * 6 and net.sim.pending_events:
+        net.run(until=net.now + 0.5)
+    cdf = Cdf(latencies)
+    return {"p95_ms": to_ms(cdf.percentile(95)), "events": net.sim.events_processed}
+
+
+def run_tsn_ablation(
+    duration: float = 10.0,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     """One user's time-critical traffic vs everyone else's latency.
 
     §2.2: "unlike cellular, resources are not dedicated to a user and other
@@ -320,9 +475,7 @@ def run_tsn_ablation(duration: float = 10.0, seed: int = 0) -> ExperimentResult:
     traffic at increasing rates while user B runs small RPCs in the normal
     band; B's latency quantifies the multiplexing loss.
     """
-    from repro.net.packet import Packet, PacketType
-    from repro.sim.timers import PeriodicTimer
-
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-tsn",
         description=(
@@ -334,55 +487,23 @@ def run_tsn_ablation(duration: float = 10.0, seed: int = 0) -> ExperimentResult:
         ["express load (Mbps)", "bystander RPC p95 (ms)"],
         title="TSN multiplexing cost",
     )
-    for express_mbps in (0.0, 8.0, 24.0):
-        net = HvcNetwork([wifi_tsn_spec()], steering="single", seed=seed)
-
-        # User A: time-critical express traffic (control-class datagrams).
-        express_bytes = 250  # URLLC-sized small packets
-        if express_mbps > 0:
-            # The express stream loads both directions (two TSN talkers).
-            interval = 2 * express_bytes * 8 / (express_mbps * 1e6)
-
-            def inject() -> None:
-                up = Packet(flow_id=999, ptype=PacketType.PROBE)
-                up.header_bytes = express_bytes
-                net.client.send(up)
-                down = Packet(flow_id=998, ptype=PacketType.PROBE)
-                down.header_bytes = express_bytes
-                net.server.send(down)
-
-            PeriodicTimer(net.sim, interval, inject, start_delay=0.0)
-            net.server.set_default_handler(lambda p: None)
-            net.client.set_default_handler(lambda p: None)
-
-        # User B: request/response RPCs in the normal band.
-        latencies: List[float] = []
-        state = {"started": 0.0}
-        flow_id = next_flow_id()
-
-        def on_reply(receipt):
-            latencies.append(net.now - state["started"])
-            issue()
-
-        client = Connection(net.sim, net.client, flow_id, cc="cubic", on_message=on_reply)
-
-        def on_request(receipt):
-            server.send_message(kb(20), message_id=receipt.message_id + 5000)
-
-        server = Connection(net.sim, net.server, flow_id, cc="cubic", on_message=on_request)
-
-        def issue():
-            if len(latencies) >= 50:
-                return
-            state["started"] = net.now
-            client.send_message(kb(1), message_id=len(latencies))
-
-        issue()
-        while len(latencies) < 50 and net.now < duration * 6 and net.sim.pending_events:
-            net.run(until=net.now + 0.5)
-        cdf = Cdf(latencies)
-        result.values[f"{express_mbps}:p95_ms"] = to_ms(cdf.percentile(95))
-        table.add_row(express_mbps, to_ms(cdf.percentile(95)))
+    loads = (0.0, 8.0, 24.0)
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "ab-tsn",
+                "repro.experiments.ablations:tsn_unit",
+                seed=seed,
+                express_mbps=express_mbps,
+                duration=duration,
+            )
+            for express_mbps in loads
+        ]
+    )
+    for express_mbps, payload in zip(loads, payloads):
+        result.events_processed += payload["events"]
+        result.values[f"{express_mbps}:p95_ms"] = payload["p95_ms"]
+        table.add_row(express_mbps, payload["p95_ms"])
     result.tables.append(table)
     result.notes.append(
         "shape check: the bystander's latency grows with the express load — "
@@ -394,7 +515,28 @@ def run_tsn_ablation(duration: float = 10.0, seed: int = 0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # ab-reseq: the shim resequencer is load-bearing
 # ----------------------------------------------------------------------
-def run_resequencer_ablation(duration: float = 20.0, seed: int = 0) -> ExperimentResult:
+def reseq_unit(enabled: bool = True, duration: float = 20.0, seed: int = 0) -> dict:
+    """CUBIC bulk with the reorder buffer on/off (runner unit)."""
+    net = HvcNetwork(
+        [fixed_embb_spec(), urllc_spec()],
+        steering="dchannel",
+        seed=seed,
+        resequence=enabled,
+    )
+    bulk = BulkTransfer(net, cc="cubic")
+    net.run(until=duration)
+    return {
+        "mbps": to_mbps(bulk.mean_throughput_bps(end=duration)),
+        "rtx": bulk.pair.client.stats.retransmissions,
+        "events": net.sim.events_processed,
+    }
+
+
+def run_resequencer_ablation(
+    duration: float = 20.0,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
     """CUBIC bulk under DChannel with and without the reorder buffer.
 
     Splitting one TCP flow's packets across channels with ~10× different
@@ -403,6 +545,7 @@ def run_resequencer_ablation(duration: float = 20.0, seed: int = 0) -> Experimen
     near the floor. DChannel deploys a receiver-side resequencer precisely
     for this — Fig. 1a's "CUBIC fills the pipe" result depends on it.
     """
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-reseq",
         description=(
@@ -414,20 +557,24 @@ def run_resequencer_ablation(duration: float = 20.0, seed: int = 0) -> Experimen
         ["resequencer", "throughput (Mbps)", "retransmissions"],
         title="Shim reorder protection",
     )
-    for label, enabled in (("on", True), ("off", False)):
-        net = HvcNetwork(
-            [fixed_embb_spec(), urllc_spec()],
-            steering="dchannel",
-            seed=seed,
-            resequence=enabled,
-        )
-        bulk = BulkTransfer(net, cc="cubic")
-        net.run(until=duration)
-        throughput = to_mbps(bulk.mean_throughput_bps(end=duration))
-        rtx = bulk.pair.client.stats.retransmissions
-        result.values[f"{label}:mbps"] = throughput
-        result.values[f"{label}:rtx"] = rtx
-        table.add_row(label, throughput, rtx)
+    settings = (("on", True), ("off", False))
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "ab-reseq",
+                "repro.experiments.ablations:reseq_unit",
+                seed=seed,
+                enabled=enabled,
+                duration=duration,
+            )
+            for _, enabled in settings
+        ]
+    )
+    for (label, _), payload in zip(settings, payloads):
+        result.events_processed += payload["events"]
+        result.values[f"{label}:mbps"] = payload["mbps"]
+        result.values[f"{label}:rtx"] = payload["rtx"]
+        table.add_row(label, payload["mbps"], payload["rtx"])
     result.tables.append(table)
     result.notes.append(
         "shape check: disabling the resequencer collapses throughput — "
@@ -441,8 +588,53 @@ def run_resequencer_ablation(duration: float = 20.0, seed: int = 0) -> Experimen
 # ----------------------------------------------------------------------
 # ab-cost: latency vs monetary cost
 # ----------------------------------------------------------------------
-def run_cost_ablation(seed: int = 0) -> ExperimentResult:
+def cost_unit(willingness: float = 0.0, seed: int = 0) -> dict:
+    """Latency/spend at one willingness-to-pay level (runner unit)."""
+    steerer = CostAwareSteerer(
+        budget_per_s=0.05, burst=0.2, max_price_per_second_saved=willingness
+    )
+    net = HvcNetwork([fiber_wan_spec(), cisp_spec()], steering=steerer, seed=seed)
+    latencies: List[float] = []
+    flow_id = next_flow_id()
+    state = {"started_at": 0.0}
+
+    def on_response(receipt):
+        latencies.append(net.now - state["started_at"])
+        issue()
+
+    client = Connection(
+        net.sim, net.client, flow_id, cc="cubic", on_message=on_response
+    )
+
+    def on_request(receipt):
+        server.send_message(kb(4), message_id=receipt.message_id + 5000)
+
+    server = Connection(
+        net.sim, net.server, flow_id, cc="cubic", on_message=on_request
+    )
+
+    def issue():
+        if len(latencies) >= 60:
+            return
+        state["started_at"] = net.now
+        client.send_message(300, message_id=len(latencies))
+
+    issue()
+    while len(latencies) < 60 and net.now < 120.0 and net.sim.pending_events:
+        net.run(until=net.now + 1.0)
+    cdf = Cdf(latencies)
+    return {
+        "p95_ms": to_ms(cdf.percentile(95)),
+        "spend": net.total_cost(),
+        "events": net.sim.events_processed,
+    }
+
+
+def run_cost_ablation(
+    seed: int = 0, runner: Optional[ParallelRunner] = None
+) -> ExperimentResult:
     """Request-response latency vs spend across willingness-to-pay levels."""
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="ab-cost",
         description=(
@@ -455,46 +647,23 @@ def run_cost_ablation(seed: int = 0) -> ExperimentResult:
         ["max $/s saved", "p95 latency (ms)", "spend ($)"],
         title="Latency vs cost (cISP + fiber)",
     )
-    for willingness in (0.0, 0.1, 10.0):
-        steerer = CostAwareSteerer(
-            budget_per_s=0.05, burst=0.2, max_price_per_second_saved=willingness
-        )
-        net = HvcNetwork(
-            [fiber_wan_spec(), cisp_spec()], steering=steerer, seed=seed
-        )
-        latencies = []
-        flow_id = next_flow_id()
-        state = {"started_at": 0.0}
-
-        def on_response(receipt):
-            latencies.append(net.now - state["started_at"])
-            issue()
-
-        client = Connection(
-            net.sim, net.client, flow_id, cc="cubic", on_message=on_response
-        )
-
-        def on_request(receipt):
-            server.send_message(kb(4), message_id=receipt.message_id + 5000)
-
-        server = Connection(
-            net.sim, net.server, flow_id, cc="cubic", on_message=on_request
-        )
-
-        def issue():
-            if len(latencies) >= 60:
-                return
-            state["started_at"] = net.now
-            client.send_message(300, message_id=len(latencies))
-
-        issue()
-        while len(latencies) < 60 and net.now < 120.0 and net.sim.pending_events:
-            net.run(until=net.now + 1.0)
-        cdf = Cdf(latencies)
-        spend = net.total_cost()
-        result.values[f"{willingness}:p95_ms"] = to_ms(cdf.percentile(95))
-        result.values[f"{willingness}:spend"] = spend
-        table.add_row(willingness, to_ms(cdf.percentile(95)), f"{spend:.4f}")
+    levels = (0.0, 0.1, 10.0)
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "ab-cost",
+                "repro.experiments.ablations:cost_unit",
+                seed=seed,
+                willingness=willingness,
+            )
+            for willingness in levels
+        ]
+    )
+    for willingness, payload in zip(levels, payloads):
+        result.events_processed += payload["events"]
+        result.values[f"{willingness}:p95_ms"] = payload["p95_ms"]
+        result.values[f"{willingness}:spend"] = payload["spend"]
+        table.add_row(willingness, payload["p95_ms"], f"{payload['spend']:.4f}")
     result.tables.append(table)
     result.notes.append(
         "shape check: latency falls and spend rises as willingness-to-pay grows"

@@ -18,13 +18,14 @@ Expected ordering (the paper's narrative):
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.apps.web.browser import load_page
 from repro.apps.web.corpus import generate_corpus
 from repro.core.api import HvcNetwork
 from repro.core.results import ExperimentResult, Table
 from repro.net.hvc import traced_embb_spec, urllc_spec
+from repro.runner import ParallelRunner, RunUnit
 from repro.steering.single import SingleChannelSteerer
 from repro.traces.catalog import get_trace
 from repro.units import to_ms
@@ -46,13 +47,35 @@ def _steering_for(policy: str):
     return policy
 
 
+def baseline_policy_unit(
+    policy: str = "dchannel", page_count: int = 10, seed: int = 0
+) -> dict:
+    """Mean PLT for one steering policy over the corpus (runner unit)."""
+    pages = generate_corpus(count=page_count, seed=seed)
+    plts: List[float] = []
+    events = 0
+    for index, page in enumerate(pages):
+        trace = get_trace("5g-lowband-driving", seed=seed + index + 1)
+        embb = traced_embb_spec(trace)
+        embb.name = "embb"
+        net = HvcNetwork(
+            [embb, urllc_spec()], steering=_steering_for(policy),
+            seed=seed + index,
+        )
+        outcome = load_page(net, page, cc="cubic", timeout=45.0)
+        plts.append(outcome.plt if outcome.complete else 45.0)
+        events += net.sim.events_processed
+    return {"plt_ms": to_ms(sum(plts) / len(plts)), "events": events}
+
+
 def run_baselines(
     policies: Sequence[str] = BASELINE_POLICIES,
     page_count: int = 10,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Mean web PLT per steering policy (driving trace, no background)."""
-    pages = generate_corpus(count=page_count, seed=seed)
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="baselines",
         description=(
@@ -62,20 +85,22 @@ def run_baselines(
     )
     table = Table(["policy", "mean PLT (ms)", "vs eMBB-only"], title="Policy zoo")
     means: Dict[str, float] = {}
-    for policy in policies:
-        plts: List[float] = []
-        for index, page in enumerate(pages):
-            trace = get_trace("5g-lowband-driving", seed=seed + index + 1)
-            embb = traced_embb_spec(trace)
-            embb.name = "embb"
-            net = HvcNetwork(
-                [embb, urllc_spec()], steering=_steering_for(policy),
-                seed=seed + index,
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "baseline-policy",
+                "repro.experiments.baselines:baseline_policy_unit",
+                seed=seed,
+                policy=policy,
+                page_count=page_count,
             )
-            outcome = load_page(net, page, cc="cubic", timeout=45.0)
-            plts.append(outcome.plt if outcome.complete else 45.0)
-        means[policy] = to_ms(sum(plts) / len(plts))
+            for policy in policies
+        ]
+    )
+    for policy, payload in zip(policies, payloads):
+        means[policy] = payload["plt_ms"]
         result.values[policy] = means[policy]
+        result.events_processed += payload["events"]
     baseline = means.get("embb-only")
     for policy in policies:
         delta = (

@@ -19,6 +19,7 @@ from repro.apps.bulk import BulkTransfer
 from repro.core.api import HvcNetwork
 from repro.core.results import ExperimentResult, PaperComparison, SeriesSet, Table
 from repro.net.hvc import fixed_embb_spec, urllc_spec
+from repro.runner import ParallelRunner, RunUnit
 from repro.units import to_mbps, to_ms
 
 #: Paper-reported mean throughputs (Mbps) on this setup.
@@ -52,12 +53,48 @@ def run_single_cca(
     return bulk
 
 
+def fig1a_unit(
+    cc: str = "cubic",
+    duration: float = DEFAULT_DURATION,
+    steering: str = "dchannel",
+    seed: int = 0,
+) -> dict:
+    """One Fig. 1 bulk flow reduced to a picklable payload (runner unit)."""
+    bulk = run_single_cca(cc, duration=duration, steering=steering, seed=seed)
+    return {
+        "mbps": to_mbps(bulk.mean_throughput_bps(start=0.0, end=duration)),
+        "series": [
+            (t, to_mbps(r)) for t, r in bulk.throughput_series(interval=1.0)
+        ],
+        "events": bulk.net.sim.events_processed,
+    }
+
+
+def fig1a_units(
+    ccas: Sequence[str], duration: float, seed: int, steering: str = "dchannel"
+) -> List[RunUnit]:
+    """Declare Fig. 1a's per-CCA runs (shared with the ab-cc ablation)."""
+    return [
+        RunUnit.make(
+            "fig1-cca",
+            "repro.experiments.fig1:fig1a_unit",
+            seed=seed,
+            cc=cc,
+            duration=duration,
+            steering=steering,
+        )
+        for cc in ccas
+    ]
+
+
 def run_fig1a(
     duration: float = DEFAULT_DURATION,
     ccas: Sequence[str] = DEFAULT_CCAS,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 1a: throughput per CCA under DChannel steering."""
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="fig1a",
         description=(
@@ -69,19 +106,18 @@ def run_fig1a(
     series = SeriesSet(
         title="Fig. 1a throughput over time", x_label="s", y_label="Mbps"
     )
-    for cc in ccas:
-        bulk = run_single_cca(cc, duration=duration, seed=seed)
-        mbps = to_mbps(bulk.mean_throughput_bps(start=0.0, end=duration))
+    payloads = runner.run(fig1a_units(ccas, duration, seed))
+    for cc, payload in zip(ccas, payloads):
+        mbps = payload["mbps"]
         result.values[cc] = mbps
+        result.events_processed += payload["events"]
         paper = PAPER_THROUGHPUT_MBPS.get(cc)
         table.add_row(cc, mbps, paper if paper is not None else "-")
         if paper is not None:
             result.comparisons.append(
                 PaperComparison(f"{cc} throughput", paper, round(mbps, 2), " Mbps")
             )
-        series.add(
-            cc, [(t, to_mbps(r)) for t, r in bulk.throughput_series(interval=1.0)]
-        )
+        series.add(cc, [(t, r) for t, r in payload["series"]])
     result.tables.append(table)
     result.series.append(series)
     ordering = sorted(result.values, key=result.values.get, reverse=True)
@@ -92,13 +128,47 @@ def run_fig1a(
     return result
 
 
-def run_fig1b(duration: float = DEFAULT_DURATION, seed: int = 0) -> ExperimentResult:
-    """Regenerate Fig. 1b: packet RTTs observed by BBR under steering."""
+def fig1b_unit(duration: float = DEFAULT_DURATION, seed: int = 0) -> dict:
+    """BBR's RTT samples as picklable tuples (runner unit)."""
     bulk = run_single_cca("bbr", duration=duration, seed=seed)
-    records = bulk.rtt_records()
+    return {
+        "records": [
+            (r.time, r.rtt, r.data_channel, r.ack_channel)
+            for r in bulk.rtt_records()
+        ],
+        "events": bulk.net.sim.events_processed,
+    }
+
+
+class _RecordView:
+    """Tuple-backed stand-in for RttRecord after a runner round-trip."""
+
+    __slots__ = ("time", "rtt", "data_channel", "ack_channel")
+
+    def __init__(self, row: Tuple[float, float, int, int]) -> None:
+        self.time, self.rtt, self.data_channel, self.ack_channel = row
+
+
+def run_fig1b(
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> ExperimentResult:
+    """Regenerate Fig. 1b: packet RTTs observed by BBR under steering."""
+    runner = runner if runner is not None else ParallelRunner()
+    payload = runner.run_one(
+        RunUnit.make(
+            "fig1b",
+            "repro.experiments.fig1:fig1b_unit",
+            seed=seed,
+            duration=duration,
+        )
+    )
+    records = [_RecordView(row) for row in payload["records"]]
     result = ExperimentResult(
         name="fig1b",
         description="Packet RTTs observed by BBR when using DChannel.",
+        events_processed=payload["events"],
     )
     series = SeriesSet(title="Fig. 1b BBR RTT samples", x_label="s", y_label="ms")
     series.add("rtt", [(r.time, to_ms(r.rtt)) for r in records])

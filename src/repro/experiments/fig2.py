@@ -22,8 +22,10 @@ from typing import Dict, Optional
 
 from repro.apps.video.session import VideoSessionResult, run_video_session
 from repro.core.api import HvcNetwork
+from repro.core.metrics import Cdf
 from repro.core.results import ExperimentResult, PaperComparison, SeriesSet, Table
 from repro.net.hvc import traced_embb_spec, urllc_spec
+from repro.runner import ParallelRunner, RunUnit
 from repro.steering.single import SingleChannelSteerer
 from repro.traces.catalog import get_trace
 from repro.units import to_ms
@@ -70,13 +72,32 @@ def run_fig2_cell(
     return run_video_session(net, duration=duration)
 
 
+def fig2_cell_unit(
+    trace: str = "5g-lowband-driving",
+    scheme: str = "dchannel",
+    duration: float = 60.0,
+    seed: int = 0,
+) -> dict:
+    """One Fig. 2 cell reduced to picklable distributions (runner unit)."""
+    net = video_network(trace, scheme, seed=seed)
+    cell = run_video_session(net, duration=duration)
+    return {
+        "latencies": [f.latency for f in cell.frames if f.decoded],
+        "ssims": list(cell.ssim_values),
+        "frames": len(cell.frames),
+        "events": net.sim.events_processed,
+    }
+
+
 def run_fig2(
     duration: float = 60.0,
     traces=TRACES,
     schemes=SCHEMES,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 2: latency and SSIM distributions per scheme."""
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="fig2",
         description=(
@@ -85,6 +106,21 @@ def run_fig2(
             "+ URLLC."
         ),
     )
+    cells = [(trace_name, scheme) for trace_name in traces for scheme in schemes]
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "fig2-cell",
+                "repro.experiments.fig2:fig2_cell_unit",
+                seed=seed,
+                trace=trace_name,
+                scheme=scheme,
+                duration=duration,
+            )
+            for trace_name, scheme in cells
+        ]
+    )
+    by_cell = dict(zip(cells, payloads))
     for trace_name in traces:
         table = Table(
             [
@@ -103,12 +139,11 @@ def run_fig2(
         ssim_series = SeriesSet(
             title=f"SSIM CDF ({trace_name})", x_label="ssim", y_label="P"
         )
-        cell_results: Dict[str, VideoSessionResult] = {}
         for scheme in schemes:
-            cell = run_fig2_cell(trace_name, scheme, duration=duration, seed=seed)
-            cell_results[scheme] = cell
-            latency = cell.latency_cdf()
-            ssim = cell.ssim_cdf()
+            cell = by_cell[(trace_name, scheme)]
+            result.events_processed += cell["events"]
+            latency = Cdf(cell["latencies"])
+            ssim = Cdf(cell["ssims"])
             key = f"{trace_name}:{scheme}"
             result.values[f"{key}:p95_latency_ms"] = to_ms(latency.percentile(95))
             result.values[f"{key}:mean_ssim"] = ssim.mean
@@ -118,7 +153,7 @@ def run_fig2(
                 to_ms(latency.percentile(95)),
                 to_ms(latency.max),
                 round(ssim.mean, 3),
-                len(cell.frames),
+                cell["frames"],
             )
             latency_series.add(
                 scheme, [(to_ms(v), p) for v, p in latency.points(40)]

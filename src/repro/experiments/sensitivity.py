@@ -14,7 +14,7 @@ series per metric, printed by ``benchmarks/test_bench_sensitivity.py``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.web.background import BackgroundFlows
 from repro.apps.web.browser import load_page
@@ -23,6 +23,7 @@ from repro.core.api import HvcNetwork
 from repro.core.results import ExperimentResult, SeriesSet, Table
 from repro.net.channel import ChannelSpec, DirectionSpec
 from repro.net.hvc import URLLC_QUEUE_BYTES, traced_embb_spec
+from repro.runner import ParallelRunner, RunUnit
 from repro.steering.dchannel import DChannelSteerer
 from repro.traces.catalog import get_trace
 from repro.units import mbps, ms, to_ms
@@ -49,9 +50,10 @@ def _mean_plt(
     pages,
     seed: int,
     with_background: bool = True,
-) -> float:
-    """Mean PLT (seconds) over ``pages`` for one channel/policy setting."""
+) -> Tuple[float, int]:
+    """(mean PLT seconds, kernel events) over ``pages`` for one setting."""
     plts: List[float] = []
+    events = 0
     for index, page in enumerate(pages):
         trace = get_trace("5g-lowband-driving", seed=seed + index + 1)
         embb = traced_embb_spec(trace)
@@ -67,16 +69,76 @@ def _mean_plt(
         if background is not None:
             background.close()
         plts.append(result.plt if result.complete else 45.0)
-    return sum(plts) / len(plts)
+        events += net.sim.events_processed
+    return sum(plts) / len(plts), events
+
+
+# ----------------------------------------------------------------------
+# Runner units: one sweep point each, reduced to picklable payloads
+# ----------------------------------------------------------------------
+def bw_sweep_unit(rate_mbps: float = 2.0, page_count: int = 8, seed: int = 0) -> dict:
+    pages = generate_corpus(count=page_count, seed=seed)
+    plt, events = _mean_plt(mbps(rate_mbps), ms(5), DChannelSteerer(), pages, seed)
+    return {"plt_ms": to_ms(plt), "events": events}
+
+
+def threshold_sweep_unit(
+    threshold_ms: float = 0.0, page_count: int = 8, seed: int = 0
+) -> dict:
+    pages = generate_corpus(count=page_count, seed=seed)
+    steerer = DChannelSteerer(savings_threshold=ms(threshold_ms))
+    plt, events = _mean_plt(mbps(2), ms(5), steerer, pages, seed)
+    return {"plt_ms": to_ms(plt), "events": events}
+
+
+def rtt_sweep_unit(rtt_ms: float = 5.0, page_count: int = 8, seed: int = 0) -> dict:
+    pages = generate_corpus(count=page_count, seed=seed)
+    plt, events = _mean_plt(mbps(2), ms(rtt_ms), DChannelSteerer(), pages, seed)
+    return {"plt_ms": to_ms(plt), "events": events}
+
+
+def decode_wait_unit(
+    wait_ms: float = 60.0, duration: float = 30.0, seed: int = 0
+) -> dict:
+    from repro.apps.video.quality import SsimModel
+    from repro.apps.video.receiver import VideoReceiver
+    from repro.apps.video.sender import VideoSender
+    from repro.apps.video.svc import SvcEncoderModel
+    from repro.experiments.fig2 import video_network
+
+    net = video_network("5g-lowband-driving", "dchannel", seed=seed)
+    encoder = SvcEncoderModel()
+    pair = net.open_datagram()
+    VideoSender(net.sim, pair.client, encoder, duration=duration)
+    receiver = VideoReceiver(
+        net.sim, pair.server, encoder, decode_wait=max(ms(wait_ms), 1e-6)
+    )
+    net.run(until=duration + 2.0)
+    ssim_model = SsimModel()
+    decoded = [f for f in receiver.frames if f.decoded]
+    latencies = sorted(f.latency for f in decoded)
+    p95 = latencies[int(len(latencies) * 0.95)] if latencies else 0.0
+    mean_ssim = (
+        sum(ssim_model.ssim(f.frame_index, f.decoded_layer) for f in decoded)
+        / len(decoded)
+        if decoded
+        else 0.0
+    )
+    return {
+        "p95_ms": to_ms(p95),
+        "ssim": mean_ssim,
+        "events": net.sim.events_processed,
+    }
 
 
 def run_urllc_bandwidth_sweep(
     rates_mbps: Sequence[float] = DEFAULT_URLLC_RATES_MBPS,
     page_count: int = 8,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Web PLT vs URLLC bandwidth under DChannel steering."""
-    pages = generate_corpus(count=page_count, seed=seed)
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="sweep-urllc-bw",
         description=(
@@ -87,11 +149,22 @@ def run_urllc_bandwidth_sweep(
     table = Table(["URLLC Mbps", "mean PLT (ms)"], title="URLLC bandwidth sweep")
     series = SeriesSet(title="PLT vs URLLC bandwidth", x_label="Mbps", y_label="ms")
     points = []
-    for rate in rates_mbps:
-        plt_ms = to_ms(
-            _mean_plt(mbps(rate), ms(5), DChannelSteerer(), pages, seed)
-        )
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "sweep-urllc-bw",
+                "repro.experiments.sensitivity:bw_sweep_unit",
+                seed=seed,
+                rate_mbps=rate,
+                page_count=page_count,
+            )
+            for rate in rates_mbps
+        ]
+    )
+    for rate, payload in zip(rates_mbps, payloads):
+        plt_ms = payload["plt_ms"]
         result.values[f"{rate}"] = plt_ms
+        result.events_processed += payload["events"]
         table.add_row(rate, plt_ms)
         points.append((rate, plt_ms))
     series.add("dchannel", points)
@@ -109,19 +182,31 @@ def run_threshold_sweep(
     thresholds_ms: Sequence[float] = DEFAULT_THRESHOLDS_MS,
     page_count: int = 8,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Web PLT vs DChannel's savings threshold (reward hysteresis)."""
-    pages = generate_corpus(count=page_count, seed=seed)
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="sweep-threshold",
         description="Mean web PLT vs DChannel savings_threshold.",
     )
     table = Table(["threshold (ms)", "mean PLT (ms)"], title="Savings-threshold sweep")
-    for threshold in thresholds_ms:
-        steerer = DChannelSteerer(savings_threshold=ms(threshold))
-        plt_ms = to_ms(_mean_plt(mbps(2), ms(5), steerer, pages, seed))
-        result.values[f"{threshold}"] = plt_ms
-        table.add_row(threshold, plt_ms)
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "sweep-threshold",
+                "repro.experiments.sensitivity:threshold_sweep_unit",
+                seed=seed,
+                threshold_ms=threshold,
+                page_count=page_count,
+            )
+            for threshold in thresholds_ms
+        ]
+    )
+    for threshold, payload in zip(thresholds_ms, payloads):
+        result.values[f"{threshold}"] = payload["plt_ms"]
+        result.events_processed += payload["events"]
+        table.add_row(threshold, payload["plt_ms"])
     result.tables.append(table)
     result.notes.append(
         "finding: PLT is fairly flat across 0-30 ms; a moderate hysteresis "
@@ -134,6 +219,7 @@ def run_decode_wait_sweep(
     waits_ms: Sequence[float] = (0.0, 20.0, 60.0, 200.0, 500.0),
     duration: float = 30.0,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """The paper's 60 ms decode-wait rule, swept (§3.3).
 
@@ -143,12 +229,7 @@ def run_decode_wait_sweep(
     frame." We sweep the wait on the Fig. 2 lowband-driving scenario with
     DChannel steering and report both sides of the trade.
     """
-    from repro.apps.video.quality import SsimModel
-    from repro.apps.video.receiver import VideoReceiver
-    from repro.apps.video.sender import VideoSender
-    from repro.apps.video.svc import SvcEncoderModel
-    from repro.experiments.fig2 import video_network
-
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="sweep-decode-wait",
         description=(
@@ -160,28 +241,23 @@ def run_decode_wait_sweep(
         ["wait (ms)", "p95 latency (ms)", "mean SSIM"],
         title="Decode-wait trade-off",
     )
-    for wait_ms in waits_ms:
-        net = video_network("5g-lowband-driving", "dchannel", seed=seed)
-        encoder = SvcEncoderModel()
-        pair = net.open_datagram()
-        VideoSender(net.sim, pair.client, encoder, duration=duration)
-        receiver = VideoReceiver(
-            net.sim, pair.server, encoder, decode_wait=max(ms(wait_ms), 1e-6)
-        )
-        net.run(until=duration + 2.0)
-        ssim_model = SsimModel()
-        decoded = [f for f in receiver.frames if f.decoded]
-        latencies = sorted(f.latency for f in decoded)
-        p95 = latencies[int(len(latencies) * 0.95)] if latencies else 0.0
-        mean_ssim = (
-            sum(ssim_model.ssim(f.frame_index, f.decoded_layer) for f in decoded)
-            / len(decoded)
-            if decoded
-            else 0.0
-        )
-        result.values[f"{wait_ms}:p95_ms"] = to_ms(p95)
-        result.values[f"{wait_ms}:ssim"] = mean_ssim
-        table.add_row(wait_ms, to_ms(p95), round(mean_ssim, 3))
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "sweep-decode-wait",
+                "repro.experiments.sensitivity:decode_wait_unit",
+                seed=seed,
+                wait_ms=wait_ms,
+                duration=duration,
+            )
+            for wait_ms in waits_ms
+        ]
+    )
+    for wait_ms, payload in zip(waits_ms, payloads):
+        result.values[f"{wait_ms}:p95_ms"] = payload["p95_ms"]
+        result.values[f"{wait_ms}:ssim"] = payload["ssim"]
+        result.events_processed += payload["events"]
+        table.add_row(wait_ms, payload["p95_ms"], round(payload["ssim"], 3))
     result.tables.append(table)
     result.notes.append(
         "paper's claim: no wait → base-layer-only quality; long waits → "
@@ -194,20 +270,31 @@ def run_urllc_rtt_sweep(
     rtts_ms: Sequence[float] = DEFAULT_URLLC_RTTS_MS,
     page_count: int = 8,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Web PLT vs URLLC RTT: how fast must the fast channel be?"""
-    pages = generate_corpus(count=page_count, seed=seed)
+    runner = runner if runner is not None else ParallelRunner()
     result = ExperimentResult(
         name="sweep-urllc-rtt",
         description="Mean web PLT as the low-latency channel's RTT varies.",
     )
     table = Table(["URLLC RTT (ms)", "mean PLT (ms)"], title="URLLC RTT sweep")
-    for rtt in rtts_ms:
-        plt_ms = to_ms(
-            _mean_plt(mbps(2), ms(rtt), DChannelSteerer(), pages, seed)
-        )
-        result.values[f"{rtt}"] = plt_ms
-        table.add_row(rtt, plt_ms)
+    payloads = runner.run(
+        [
+            RunUnit.make(
+                "sweep-urllc-rtt",
+                "repro.experiments.sensitivity:rtt_sweep_unit",
+                seed=seed,
+                rtt_ms=rtt,
+                page_count=page_count,
+            )
+            for rtt in rtts_ms
+        ]
+    )
+    for rtt, payload in zip(rtts_ms, payloads):
+        result.values[f"{rtt}"] = payload["plt_ms"]
+        result.events_processed += payload["events"]
+        table.add_row(rtt, payload["plt_ms"])
     result.tables.append(table)
     result.notes.append(
         "expected: gains shrink as the URLLC RTT approaches eMBB's ~50 ms "

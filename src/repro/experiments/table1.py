@@ -29,6 +29,7 @@ from repro.core.api import HvcNetwork
 from repro.core.metrics import percentile
 from repro.core.results import ExperimentResult, PaperComparison, Table
 from repro.net.hvc import traced_embb_spec, urllc_spec
+from repro.runner import ParallelRunner, RunUnit
 from repro.steering.single import SingleChannelSteerer
 from repro.traces.catalog import get_trace
 from repro.units import to_ms
@@ -79,7 +80,23 @@ def run_table1_cell(
     """
     if pages is None:
         pages = generate_corpus(count=30, seed=seed)
+    plts, _ = _cell_samples(
+        condition, pages, policy, loads_per_page, seed, page_timeout
+    )
+    return plts
+
+
+def _cell_samples(
+    condition: str,
+    pages: Sequence,
+    policy: str,
+    loads_per_page: int,
+    seed: int,
+    page_timeout: float,
+) -> "tuple[List[float], int]":
+    """(PLT samples, kernel events) for one cell — the unit's inner loop."""
     plts: List[float] = []
+    events = 0
     for load_round in range(loads_per_page):
         for page_index, page in enumerate(pages):
             net = web_network(
@@ -93,16 +110,62 @@ def run_table1_cell(
                 plts.append(result.plt)
             else:
                 plts.append(page_timeout)  # stalled load counted at timeout
-    return plts
+            events += net.sim.events_processed
+    return plts, events
+
+
+def table1_cell_unit(
+    condition: str = "stationary",
+    policy: str = "dchannel",
+    page_count: int = 30,
+    loads_per_page: int = 1,
+    page_timeout: float = 45.0,
+    seed: int = 0,
+) -> dict:
+    """One Table 1 cell reduced to picklable samples (runner unit).
+
+    The page corpus is regenerated from ``(page_count, seed)`` inside the
+    worker, which is deterministic, so the unit's parameters fully describe
+    the run.
+    """
+    pages = generate_corpus(count=page_count, seed=seed)
+    plts, events = _cell_samples(
+        condition, pages, policy, loads_per_page, seed, page_timeout
+    )
+    return {"plts": plts, "events": events}
 
 
 def run_table1(
     page_count: int = 30,
     loads_per_page: int = 1,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Table 1: mean web PLT per trace condition and policy."""
-    pages = generate_corpus(count=page_count, seed=seed)
+    runner = runner if runner is not None else ParallelRunner()
+    conditions = ("stationary", "driving")
+    cell_keys = [
+        (condition, policy) for condition in conditions for policy in POLICIES
+    ]
+    payloads = dict(
+        zip(
+            cell_keys,
+            runner.run(
+                [
+                    RunUnit.make(
+                        "table1-cell",
+                        "repro.experiments.table1:table1_cell_unit",
+                        seed=seed,
+                        condition=condition,
+                        policy=policy,
+                        page_count=page_count,
+                        loads_per_page=loads_per_page,
+                    )
+                    for condition, policy in cell_keys
+                ]
+            ),
+        )
+    )
     result = ExperimentResult(
         name="table1",
         description=(
@@ -114,13 +177,12 @@ def run_table1(
         ["Traces", "eMBB-only", "DChannel", "DChannel w. priority"],
         title="Table 1 — mean PLT (ms), improvement vs eMBB-only",
     )
-    for condition in ("stationary", "driving"):
-        cells = []
+    for condition in conditions:
         means: Dict[str, float] = {}
         for policy in POLICIES:
-            plts = run_table1_cell(
-                condition, policy, pages=pages, loads_per_page=loads_per_page, seed=seed
-            )
+            payload = payloads[(condition, policy)]
+            plts = payload["plts"]
+            result.events_processed += payload["events"]
             mean_ms = to_ms(sum(plts) / len(plts))
             means[policy] = mean_ms
             result.values[f"{condition}:{policy}:mean_plt_ms"] = mean_ms

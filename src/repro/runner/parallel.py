@@ -1,0 +1,112 @@
+"""Process-pool fan-out with deterministic merge.
+
+``ParallelRunner.run(units)`` returns one result per unit **in input
+order**, never completion order — so an experiment assembled from the
+returned list is bit-identical whether it ran serially, on one worker, or
+on sixteen. ``jobs=1`` executes inline in the calling process (no pool, no
+pickling of results), which is also the default every experiment uses when
+no runner is passed; the parallel path exists purely to cut wall-clock.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import RunnerError
+from repro.runner.cache import ResultCache
+from repro.runner.units import RunUnit, execute_unit
+
+
+class ParallelRunner:
+    """Executes :class:`RunUnit` batches, optionally caching results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count. ``1`` (default) runs units inline — the
+        reference execution mode the parallel path must match exactly.
+    cache:
+        Optional :class:`~repro.runner.cache.ResultCache`. Hits skip
+        execution entirely; misses are stored after execution.
+
+    Attributes
+    ----------
+    cache_hits / executed:
+        Per-runner counters across every :meth:`run` call, used by the
+        benchmarks to prove a warm rerun did no simulation work.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.cache_hits = 0
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, units: Sequence[RunUnit]) -> List[Any]:
+        """Execute every unit; results align index-for-index with ``units``."""
+        units = list(units)
+        results: List[Any] = [None] * len(units)
+        pending: List[int] = []
+        for index, unit in enumerate(units):
+            if self.cache is not None:
+                hit, value = self.cache.get(unit)
+                if hit:
+                    results[index] = value
+                    self.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                computed = [self._execute(units[index]) for index in pending]
+            else:
+                computed = self._execute_pool([units[index] for index in pending])
+            for index, value in zip(pending, computed):
+                results[index] = value
+                self.executed += 1
+                if self.cache is not None:
+                    self.cache.put(units[index], value)
+        return results
+
+    def run_one(self, unit: RunUnit) -> Any:
+        return self.run([unit])[0]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _execute(unit: RunUnit) -> Any:
+        try:
+            return execute_unit(unit)
+        except RunnerError:
+            raise
+        except Exception as exc:
+            raise RunnerError(f"unit {unit.key} failed: {exc}") from exc
+
+    def _execute_pool(self, units: List[RunUnit]) -> List[Any]:
+        workers = min(self.jobs, len(units))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Submission order == input order; gathering each future in that
+            # same order makes the merge independent of completion order.
+            futures = [pool.submit(execute_unit, unit) for unit in units]
+            computed: List[Any] = []
+            for unit, future in zip(units, futures):
+                try:
+                    computed.append(future.result())
+                except RunnerError:
+                    raise
+                except Exception as exc:
+                    raise RunnerError(f"unit {unit.key} failed in worker: {exc}") from exc
+        return computed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ParallelRunner jobs={self.jobs} cache={self.cache!r} "
+            f"hits={self.cache_hits} executed={self.executed}>"
+        )

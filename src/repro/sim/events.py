@@ -21,7 +21,7 @@ class Event:
     popped (lazy deletion).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -35,10 +35,19 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it. Idempotent."""
-        self.cancelled = True
+        """Mark the event so the kernel skips it. Idempotent.
+
+        Live-count accounting lives in the queue, so cancelling directly or
+        via :meth:`repro.sim.kernel.Simulator.cancel` agree on ``len(queue)``.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._on_event_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,6 +69,7 @@ class EventQueue:
     def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
         """Insert a new event and return it (for possible cancellation)."""
         event = Event(time, self._next_seq, callback, args)
+        event._queue = self
         self._next_seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -67,10 +77,26 @@ class EventQueue:
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        return self.pop_next(None)
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= until`` in one sweep.
+
+        Fuses the peek-then-pop pattern: cancelled heap tops are discarded
+        exactly once, and an event beyond ``until`` stays queued (``None`` is
+        returned). This is the kernel's per-event hot path.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            event = heap[0]
             if event.cancelled:
+                pop(heap)
                 continue
+            if until is not None and event.time > until:
+                return None
+            pop(heap)
+            event._queue = None
             self._live -= 1
             return event
         return None
@@ -83,9 +109,16 @@ class EventQueue:
             return None
         return self._heap[0].time
 
-    def notify_cancelled(self) -> None:
-        """Account for one externally cancelled event (bookkeeping only)."""
+    def _on_event_cancelled(self) -> None:
+        """Live-count hook invoked by :meth:`Event.cancel` (exactly once)."""
         self._live -= 1
+
+    def notify_cancelled(self) -> None:
+        """Deprecated no-op kept for backwards compatibility.
+
+        :meth:`Event.cancel` now reports to the queue itself, so external
+        callers no longer need to (and must not) adjust the live count.
+        """
 
     def __len__(self) -> int:
         return self._live

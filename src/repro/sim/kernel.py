@@ -54,9 +54,7 @@ class Simulator:
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event. Safe to call more than once."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.notify_cancelled()
+        event.cancel()
 
     # ------------------------------------------------------------------
     # Execution
@@ -78,14 +76,13 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         processed_this_run = 0
+        # Hot path: one fused heap sweep per event (pop_next) instead of the
+        # historical peek_time()+pop() pair, with the bound methods hoisted
+        # out of the loop.
+        pop_next = self._queue.pop_next
         try:
-            while self._queue and not self._stop_requested:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
+            while not self._stop_requested:
+                event = pop_next(until)
                 if event is None:
                     break
                 self.now = event.time

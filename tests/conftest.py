@@ -11,6 +11,17 @@ from repro.sim.kernel import Simulator
 from repro.units import mbps, ms
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the runner's result cache at a per-test directory.
+
+    Keeps tests from reading (or polluting) the developer's real
+    ``~/.cache/repro`` — stale cached payloads there could mask
+    regressions in the experiment code under test.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

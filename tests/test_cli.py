@@ -25,3 +25,38 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Stati." in out or "Stat" in out
+
+    def test_jobs_flag_matches_serial_output(self, capsys, tmp_path):
+        args = ["fig1b", "--duration", "2", "--cache-dir", str(tmp_path)]
+        assert main(args + ["--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2", "--no-cache"]) == 0
+        fanned = capsys.readouterr().out
+        assert fanned == serial
+
+    def test_cache_dir_flag_populates_and_reuses_cache(self, capsys, tmp_path):
+        args = ["fig1b", "--duration", "2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "executed=1" in cold and "cache_hits=0" in cold
+        assert any(tmp_path.rglob("*.pkl"))
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "cache_hits=1" in warm and "executed=0" in warm
+        # the experiment output itself is identical either way
+        assert cold.split("[runner]")[0] == warm.split("[runner]")[0]
+
+    def test_no_cache_flag_disables_caching(self, capsys, tmp_path):
+        args = [
+            "fig1b", "--duration", "2",
+            "--cache-dir", str(tmp_path), "--no-cache",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[runner]" not in out
+        assert not any(tmp_path.rglob("*.pkl"))
+
+    def test_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1b", "--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err

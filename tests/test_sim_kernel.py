@@ -52,6 +52,56 @@ class TestEventQueue:
     def test_pop_empty_returns_none(self):
         assert EventQueue().pop() is None
 
+    def test_cancel_without_notify_updates_len(self):
+        # cancel() does its own bookkeeping; notify_cancelled() is optional.
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # already delivered; must not decrement again
+        assert len(queue) == 1
+
+    def test_pop_next_returns_due_event(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert queue.pop_next(until=2.0) is event
+        assert len(queue) == 0
+
+    def test_pop_next_leaves_future_events_queued(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        assert queue.pop_next(until=2.0) is None
+        assert len(queue) == 1
+        assert queue.peek_time() == 5.0
+
+    def test_pop_next_boundary_is_inclusive(self):
+        queue = EventQueue()
+        event = queue.push(2.0, lambda: None)
+        assert queue.pop_next(until=2.0) is event
+
+    def test_pop_next_without_bound_pops_everything(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        times = [queue.pop_next().time for _ in range(2)]
+        assert times == [1.0, 3.0]
+        assert queue.pop_next() is None
+
+    def test_pop_next_skips_cancelled_before_bound_check(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None)
+        survivor = queue.push(1.5, lambda: None)
+        doomed.cancel()
+        assert queue.pop_next(until=2.0) is survivor
+        assert len(queue) == 0
+
 
 class TestSimulator:
     def test_clock_starts_at_zero(self):
