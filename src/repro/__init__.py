@@ -20,6 +20,7 @@ from repro._version import __version__
 from repro.core.api import HvcNetwork
 from repro.core.metrics import Cdf, percentile, throughput_series
 from repro.core.results import ExperimentResult, Table
+from repro.obs import Observability
 from repro import units
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "throughput_series",
     "ExperimentResult",
     "Table",
+    "Observability",
     "units",
 ]

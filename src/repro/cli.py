@@ -8,6 +8,8 @@ Examples::
     python -m repro all --quick --jobs 8
     python -m repro fig1a --no-cache
     python -m repro sweep-urllc-bw --cache-dir /tmp/repro-cache
+    python -m repro fig1a --trace-dir /tmp/traces
+    python -m repro obs summarize /tmp/traces/fig1a-cubic.jsonl
 
 Every experiment decomposes into independent simulation units executed
 through :class:`repro.runner.ParallelRunner`: ``--jobs N`` fans units out
@@ -72,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "~/.cache/repro)"
         ),
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "export repro.obs packet-lifecycle traces (JSONL) into DIR "
+            "(fig1a/fig1b/fig2/table1); inspect with `python -m repro obs "
+            "summarize`"
+        ),
+    )
     return parser
 
 
@@ -96,10 +108,20 @@ def _kwargs_for(name: str, args: argparse.Namespace, runner: ParallelRunner) -> 
             kwargs["page_count"] = args.pages
         elif args.quick:
             kwargs["page_count"] = 4 if name == "table1" else 3
+    if args.trace_dir is not None and name in ("fig1a", "fig1b", "fig2", "table1"):
+        kwargs["trace_dir"] = args.trace_dir
     return kwargs
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        # Observability tooling has its own subcommand tree; dispatch before
+        # argparse so `python -m repro obs summarize trace.jsonl` works.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:

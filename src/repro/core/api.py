@@ -91,6 +91,34 @@ class HvcNetwork:
             server_steering = steering
         self.server.set_steerer(self._resolve(server_steering, kwargs))
 
+        #: Observability context (see :meth:`attach_obs`); ``None`` keeps
+        #: every instrumentation site on its no-op fast path.
+        self.obs = None
+        #: The channel sampler :meth:`attach_obs` starts (a
+        #: :class:`~repro.net.monitor.ChannelMonitor` feeding the registry).
+        self.obs_monitor = None
+
+    def attach_obs(self, obs=None):
+        """Wire this network into a :class:`repro.obs.Observability` context.
+
+        Registers metric collectors for every link/device and the kernel,
+        starts the channel sampler, and — when ``obs.tracing`` — installs
+        packet-lifecycle trace adapters on the whole data path. Call
+        *before* opening connections so transport probes attach too.
+        Returns the context for chaining::
+
+            obs = net.attach_obs(Observability(tracing=True))
+        """
+        from repro.obs import Observability, wire_network
+
+        if obs is None:
+            obs = Observability()
+        if self.obs is not None:
+            raise ScenarioError("network already has an observability context")
+        self.obs = obs
+        self.obs_monitor = wire_network(self, obs)
+        return obs
+
     @staticmethod
     def _resolve(policy: Union[str, Steerer], kwargs: dict) -> Steerer:
         if isinstance(policy, str):

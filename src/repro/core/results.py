@@ -120,6 +120,10 @@ class ExperimentResult:
     #: Deterministic for a given seed, so it doubles as a replay checksum;
     #: benchmarks divide it by wall-clock for events/sec.
     events_processed: int = 0
+    #: On-disk artifacts this run produced, keyed by a short label — e.g.
+    #: exported ``repro.obs`` JSONL traces ("trace:cubic" -> path), ready
+    #: for ``python -m repro obs summarize``.
+    artifacts: Dict[str, str] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [f"=== {self.name} ==="]
@@ -134,6 +138,11 @@ class ExperimentResult:
             parts.extend(f"  {c.render()}" for c in self.comparisons)
         for note in self.notes:
             parts.append(f"note: {note}")
+        if self.artifacts:
+            listed = "\n".join(
+                f"  {label}: {path}" for label, path in sorted(self.artifacts.items())
+            )
+            parts.append("artifacts (try `python -m repro obs summarize <path>`):\n" + listed)
         return "\n\n".join(parts)
 
     def __str__(self) -> str:

@@ -45,9 +45,16 @@ def run_single_cca(
     duration: float = DEFAULT_DURATION,
     steering: str = "dchannel",
     seed: int = 0,
+    obs=None,
 ) -> BulkTransfer:
-    """One Fig. 1 bulk flow; returns the finished transfer for inspection."""
+    """One Fig. 1 bulk flow; returns the finished transfer for inspection.
+
+    Pass an :class:`repro.obs.Observability` to instrument the run (it is
+    attached before the connection opens, so transport probes engage).
+    """
     net = _fig1_network(steering=steering, seed=seed)
+    if obs is not None:
+        net.attach_obs(obs)
     bulk = BulkTransfer(net, cc=cc)
     net.run(until=duration)
     return bulk
@@ -58,22 +65,49 @@ def fig1a_unit(
     duration: float = DEFAULT_DURATION,
     steering: str = "dchannel",
     seed: int = 0,
+    trace_dir: Optional[str] = None,
 ) -> dict:
     """One Fig. 1 bulk flow reduced to a picklable payload (runner unit)."""
-    bulk = run_single_cca(cc, duration=duration, steering=steering, seed=seed)
-    return {
+    obs = _unit_obs(trace_dir)
+    bulk = run_single_cca(cc, duration=duration, steering=steering, seed=seed, obs=obs)
+    payload = {
         "mbps": to_mbps(bulk.mean_throughput_bps(start=0.0, end=duration)),
         "series": [
             (t, to_mbps(r)) for t, r in bulk.throughput_series(interval=1.0)
         ],
         "events": bulk.net.sim.events_processed,
     }
+    if obs is not None:
+        payload["trace"] = _export_trace(obs, trace_dir, f"fig1a-{cc}")
+    return payload
+
+
+def _unit_obs(trace_dir: Optional[str]):
+    """A tracing-enabled Observability when a trace directory is given."""
+    if trace_dir is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability(tracing=True)
+
+
+def _export_trace(obs, trace_dir: str, name: str) -> str:
+    import os
+
+    path = os.path.join(trace_dir, f"{name}.jsonl")
+    obs.export_jsonl(path)
+    return path
 
 
 def fig1a_units(
-    ccas: Sequence[str], duration: float, seed: int, steering: str = "dchannel"
+    ccas: Sequence[str],
+    duration: float,
+    seed: int,
+    steering: str = "dchannel",
+    trace_dir: Optional[str] = None,
 ) -> List[RunUnit]:
     """Declare Fig. 1a's per-CCA runs (shared with the ab-cc ablation)."""
+    extra = {} if trace_dir is None else {"trace_dir": trace_dir}
     return [
         RunUnit.make(
             "fig1-cca",
@@ -82,6 +116,7 @@ def fig1a_units(
             cc=cc,
             duration=duration,
             steering=steering,
+            **extra,
         )
         for cc in ccas
     ]
@@ -92,6 +127,7 @@ def run_fig1a(
     ccas: Sequence[str] = DEFAULT_CCAS,
     seed: int = 0,
     runner: Optional[ParallelRunner] = None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 1a: throughput per CCA under DChannel steering."""
     runner = runner if runner is not None else ParallelRunner()
@@ -106,11 +142,13 @@ def run_fig1a(
     series = SeriesSet(
         title="Fig. 1a throughput over time", x_label="s", y_label="Mbps"
     )
-    payloads = runner.run(fig1a_units(ccas, duration, seed))
+    payloads = runner.run(fig1a_units(ccas, duration, seed, trace_dir=trace_dir))
     for cc, payload in zip(ccas, payloads):
         mbps = payload["mbps"]
         result.values[cc] = mbps
         result.events_processed += payload["events"]
+        if "trace" in payload:
+            result.artifacts[f"trace:{cc}"] = payload["trace"]
         paper = PAPER_THROUGHPUT_MBPS.get(cc)
         table.add_row(cc, mbps, paper if paper is not None else "-")
         if paper is not None:
@@ -128,16 +166,24 @@ def run_fig1a(
     return result
 
 
-def fig1b_unit(duration: float = DEFAULT_DURATION, seed: int = 0) -> dict:
+def fig1b_unit(
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+    trace_dir: Optional[str] = None,
+) -> dict:
     """BBR's RTT samples as picklable tuples (runner unit)."""
-    bulk = run_single_cca("bbr", duration=duration, seed=seed)
-    return {
+    obs = _unit_obs(trace_dir)
+    bulk = run_single_cca("bbr", duration=duration, seed=seed, obs=obs)
+    payload = {
         "records": [
             (r.time, r.rtt, r.data_channel, r.ack_channel)
             for r in bulk.rtt_records()
         ],
         "events": bulk.net.sim.events_processed,
     }
+    if obs is not None:
+        payload["trace"] = _export_trace(obs, trace_dir, "fig1b-bbr")
+    return payload
 
 
 class _RecordView:
@@ -153,15 +199,18 @@ def run_fig1b(
     duration: float = DEFAULT_DURATION,
     seed: int = 0,
     runner: Optional[ParallelRunner] = None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 1b: packet RTTs observed by BBR under steering."""
     runner = runner if runner is not None else ParallelRunner()
+    extra = {} if trace_dir is None else {"trace_dir": trace_dir}
     payload = runner.run_one(
         RunUnit.make(
             "fig1b",
             "repro.experiments.fig1:fig1b_unit",
             seed=seed,
             duration=duration,
+            **extra,
         )
     )
     records = [_RecordView(row) for row in payload["records"]]
@@ -170,6 +219,8 @@ def run_fig1b(
         description="Packet RTTs observed by BBR when using DChannel.",
         events_processed=payload["events"],
     )
+    if "trace" in payload:
+        result.artifacts["trace:bbr"] = payload["trace"]
     series = SeriesSet(title="Fig. 1b BBR RTT samples", x_label="s", y_label="ms")
     series.add("rtt", [(r.time, to_ms(r.rtt)) for r in records])
     result.series.append(series)

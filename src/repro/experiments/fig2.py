@@ -77,16 +77,29 @@ def fig2_cell_unit(
     scheme: str = "dchannel",
     duration: float = 60.0,
     seed: int = 0,
+    trace_dir: Optional[str] = None,
 ) -> dict:
     """One Fig. 2 cell reduced to picklable distributions (runner unit)."""
     net = video_network(trace, scheme, seed=seed)
+    obs = None
+    if trace_dir is not None:
+        from repro.obs import Observability
+
+        obs = net.attach_obs(Observability(tracing=True))
     cell = run_video_session(net, duration=duration)
-    return {
+    payload = {
         "latencies": [f.latency for f in cell.frames if f.decoded],
         "ssims": list(cell.ssim_values),
         "frames": len(cell.frames),
         "events": net.sim.events_processed,
     }
+    if obs is not None:
+        import os
+
+        path = os.path.join(trace_dir, f"fig2-{trace}-{scheme}.jsonl")
+        obs.export_jsonl(path)
+        payload["trace"] = path
+    return payload
 
 
 def run_fig2(
@@ -95,6 +108,7 @@ def run_fig2(
     schemes=SCHEMES,
     seed: int = 0,
     runner: Optional[ParallelRunner] = None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 2: latency and SSIM distributions per scheme."""
     runner = runner if runner is not None else ParallelRunner()
@@ -107,6 +121,7 @@ def run_fig2(
         ),
     )
     cells = [(trace_name, scheme) for trace_name in traces for scheme in schemes]
+    extra = {} if trace_dir is None else {"trace_dir": trace_dir}
     payloads = runner.run(
         [
             RunUnit.make(
@@ -116,6 +131,7 @@ def run_fig2(
                 trace=trace_name,
                 scheme=scheme,
                 duration=duration,
+                **extra,
             )
             for trace_name, scheme in cells
         ]
@@ -142,6 +158,8 @@ def run_fig2(
         for scheme in schemes:
             cell = by_cell[(trace_name, scheme)]
             result.events_processed += cell["events"]
+            if "trace" in cell:
+                result.artifacts[f"trace:{trace_name}:{scheme}"] = cell["trace"]
             latency = Cdf(cell["latencies"])
             ssim = Cdf(cell["ssims"])
             key = f"{trace_name}:{scheme}"

@@ -80,7 +80,7 @@ def run_table1_cell(
     """
     if pages is None:
         pages = generate_corpus(count=30, seed=seed)
-    plts, _ = _cell_samples(
+    plts, _, _ = _cell_samples(
         condition, pages, policy, loads_per_page, seed, page_timeout
     )
     return plts
@@ -93,15 +93,28 @@ def _cell_samples(
     loads_per_page: int,
     seed: int,
     page_timeout: float,
-) -> "tuple[List[float], int]":
-    """(PLT samples, kernel events) for one cell — the unit's inner loop."""
+    trace_dir: Optional[str] = None,
+) -> "tuple[List[float], int, Optional[str]]":
+    """(PLT samples, kernel events, trace path) — the unit's inner loop.
+
+    When ``trace_dir`` is given, only the first network realization (first
+    page, first round) is traced: each page load builds a fresh network, so
+    one realization already exhibits the cell's full packet lifecycle and a
+    full cell would multiply trace volume ~30x for no extra signal.
+    """
     plts: List[float] = []
     events = 0
+    trace_path: Optional[str] = None
     for load_round in range(loads_per_page):
         for page_index, page in enumerate(pages):
             net = web_network(
                 TRACES[condition], policy, seed=seed + 101 * load_round + page_index
             )
+            obs = None
+            if trace_dir is not None and load_round == 0 and page_index == 0:
+                from repro.obs import Observability
+
+                obs = net.attach_obs(Observability(tracing=True))
             background = BackgroundFlows(net)
             net.run(until=0.2)  # let background loops reach steady state
             result = load_page(net, page, cc="cubic", timeout=page_timeout)
@@ -111,7 +124,14 @@ def _cell_samples(
             else:
                 plts.append(page_timeout)  # stalled load counted at timeout
             events += net.sim.events_processed
-    return plts, events
+            if obs is not None:
+                import os
+
+                trace_path = os.path.join(
+                    trace_dir, f"table1-{condition}-{policy}.jsonl"
+                )
+                obs.export_jsonl(trace_path)
+    return plts, events, trace_path
 
 
 def table1_cell_unit(
@@ -121,6 +141,7 @@ def table1_cell_unit(
     loads_per_page: int = 1,
     page_timeout: float = 45.0,
     seed: int = 0,
+    trace_dir: Optional[str] = None,
 ) -> dict:
     """One Table 1 cell reduced to picklable samples (runner unit).
 
@@ -129,10 +150,14 @@ def table1_cell_unit(
     the run.
     """
     pages = generate_corpus(count=page_count, seed=seed)
-    plts, events = _cell_samples(
-        condition, pages, policy, loads_per_page, seed, page_timeout
+    plts, events, trace_path = _cell_samples(
+        condition, pages, policy, loads_per_page, seed, page_timeout,
+        trace_dir=trace_dir,
     )
-    return {"plts": plts, "events": events}
+    payload = {"plts": plts, "events": events}
+    if trace_path is not None:
+        payload["trace"] = trace_path
+    return payload
 
 
 def run_table1(
@@ -140,6 +165,7 @@ def run_table1(
     loads_per_page: int = 1,
     seed: int = 0,
     runner: Optional[ParallelRunner] = None,
+    trace_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Regenerate Table 1: mean web PLT per trace condition and policy."""
     runner = runner if runner is not None else ParallelRunner()
@@ -147,6 +173,7 @@ def run_table1(
     cell_keys = [
         (condition, policy) for condition in conditions for policy in POLICIES
     ]
+    extra = {} if trace_dir is None else {"trace_dir": trace_dir}
     payloads = dict(
         zip(
             cell_keys,
@@ -160,6 +187,7 @@ def run_table1(
                         policy=policy,
                         page_count=page_count,
                         loads_per_page=loads_per_page,
+                        **extra,
                     )
                     for condition, policy in cell_keys
                 ]
@@ -183,6 +211,8 @@ def run_table1(
             payload = payloads[(condition, policy)]
             plts = payload["plts"]
             result.events_processed += payload["events"]
+            if "trace" in payload:
+                result.artifacts[f"trace:{condition}:{policy}"] = payload["trace"]
             mean_ms = to_ms(sum(plts) / len(plts))
             means[policy] = mean_ms
             result.values[f"{condition}:{policy}:mean_plt_ms"] = mean_ms

@@ -87,6 +87,10 @@ class Link:
         #: Optional instrumentation hook called as ``fn(packet, link)``
         #: when a packet completes serialization (before loss is applied).
         self.on_depart: Optional[Callable[[Packet, "Link"], None]] = None
+        #: Packet-lifecycle tracing adapter (:class:`repro.obs.LinkObs`);
+        #: stays ``None`` unless tracing is enabled, so the off path is a
+        #: single identity check per event.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Time-varying characteristics
@@ -118,13 +122,22 @@ class Link:
 
     def send(self, packet: Packet) -> bool:
         """Offer a packet to the link; returns False if tail-dropped."""
+        obs = self.obs
         if not self.up:
             self.stats.overflow_drops += 1
+            if obs is not None:
+                obs.on_overflow(packet, self.sim.now, reason="down")
             return False
         self.stats.sent += 1
+        if obs is not None:
+            obs.on_offered()
         if not self.queue.try_enqueue(packet):
             self.stats.overflow_drops += 1
+            if obs is not None:
+                obs.on_overflow(packet, self.sim.now)
             return False
+        if obs is not None:
+            obs.on_enqueue(packet, self.sim.now)
         if self._serving is None:
             self._start_next()
         return True
@@ -151,10 +164,15 @@ class Link:
         self.sim.schedule(tx_time, self._finish_serialization, packet)
 
     def _finish_serialization(self, packet: Packet) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.on_transmit(packet, self.sim.now)
         if self.on_depart is not None:
             self.on_depart(packet, self)
         if self.loss.should_drop(self.rng, self.sim.now):
             self.stats.lost += 1
+            if obs is not None:
+                obs.on_loss(packet, self.sim.now)
         else:
             delay = self.current_delay()
             arrival = self.sim.now + delay
@@ -169,6 +187,8 @@ class Link:
         self.stats.delivered += 1
         self.stats.bytes_delivered += packet.size_bytes
         packet.delivered_at = self.sim.now
+        if self.obs is not None:
+            self.obs.on_deliver(packet, self.sim.now)
         if self.receiver is None:
             raise NetworkError(f"link {self.name!r} delivered a packet but has no receiver")
         self.receiver(packet)

@@ -4,12 +4,18 @@ Experiments attach a :class:`ChannelMonitor` to sample every channel at a
 fixed period; the resulting series drive per-channel plots (e.g. "how much
 of URLLC did the background flows eat") and the utilization numbers in
 EXPERIMENTS.md.
+
+The monitor is rebased on :mod:`repro.obs`: pass an
+:class:`~repro.obs.Observability` context and every sample also updates the
+per-channel gauges in its metrics registry and (when tracing is enabled)
+appends a ``channel`` trace record, so ``repro obs summarize`` can rebuild
+these exact series from an exported trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.net.channel import Channel
 from repro.sim.kernel import Simulator
@@ -36,12 +42,19 @@ class ChannelSeries:
 
     name: str
     samples: List[ChannelSample] = field(default_factory=list)
+    #: Incremented whenever :meth:`utilization` had to clamp a >1.0 value
+    #: (the capacity integral under-resolved a rate change mid-interval).
+    clamp_warnings: int = 0
 
     def utilization(self, direction: str = "down") -> float:
         """Mean fraction of capacity carried between first and last sample.
 
-        Uses delivered-byte deltas against the instantaneous rate at each
-        sample, so it remains meaningful for trace-driven channels.
+        Capacity is integrated across each sampling interval (trapezoid of
+        the rates observed at the interval's endpoints), so a trace-driven
+        channel whose rate rises mid-interval is credited with the capacity
+        it actually had rather than the stale rate at the interval's start.
+        The result is clamped to 1.0; clamping bumps :attr:`clamp_warnings`
+        because it means the sampling period under-resolved the rate trace.
         """
         if direction not in ("up", "down"):
             raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
@@ -55,11 +68,17 @@ class ChannelSeries:
                 continue
             if direction == "down":
                 used += (curr.down_delivered_bytes - prev.down_delivered_bytes) * 8
-                possible += prev.down_rate_bps * dt
+                possible += 0.5 * (prev.down_rate_bps + curr.down_rate_bps) * dt
             else:
                 used += (curr.up_delivered_bytes - prev.up_delivered_bytes) * 8
-                possible += prev.up_rate_bps * dt
-        return used / possible if possible > 0 else 0.0
+                possible += 0.5 * (prev.up_rate_bps + curr.up_rate_bps) * dt
+        if possible <= 0:
+            return 0.0
+        value = used / possible
+        if value > 1.0:
+            self.clamp_warnings += 1
+            value = 1.0
+        return value
 
     def peak_backlog_bytes(self, direction: str = "down") -> int:
         if not self.samples:
@@ -74,37 +93,77 @@ class ChannelSeries:
 
 
 class ChannelMonitor:
-    """Samples a set of channels on a fixed period."""
+    """Samples a set of channels on a fixed period.
+
+    With ``obs`` given, each sample also sets the registry gauges
+    ``channel.backlog_bytes`` / ``channel.rate_bps`` (labelled by channel
+    and direction) and, when tracing is on, emits one ``channel`` trace
+    record carrying the full :class:`ChannelSample` payload.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         channels: Sequence[Channel],
         period: float = 0.1,
+        obs=None,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self.sim = sim
         self.channels = list(channels)
+        self.obs = obs
         self.series: Dict[str, ChannelSeries] = {
             channel.name: ChannelSeries(name=channel.name) for channel in self.channels
         }
+        self._gauges: Dict[tuple, object] = {}
+        if obs is not None:
+            for channel in self.channels:
+                for direction in ("up", "down"):
+                    labels = {"channel": channel.name, "direction": direction}
+                    self._gauges[(channel.name, direction, "backlog")] = (
+                        obs.registry.gauge("channel.backlog_bytes", **labels)
+                    )
+                    self._gauges[(channel.name, direction, "rate")] = (
+                        obs.registry.gauge("channel.rate_bps", **labels)
+                    )
         self._timer = PeriodicTimer(sim, period, self._sample, start_delay=0.0)
 
     def _sample(self) -> None:
+        obs = self.obs
         for channel in self.channels:
-            self.series[channel.name].samples.append(
-                ChannelSample(
-                    time=self.sim.now,
-                    up_backlog_bytes=channel.uplink.backlog_bytes,
-                    down_backlog_bytes=channel.downlink.backlog_bytes,
-                    up_delivered_bytes=channel.uplink.stats.bytes_delivered,
-                    down_delivered_bytes=channel.downlink.stats.bytes_delivered,
-                    up_rate_bps=channel.uplink.current_rate(),
-                    down_rate_bps=channel.downlink.current_rate(),
-                    base_rtt=channel.base_rtt(),
-                )
+            sample = ChannelSample(
+                time=self.sim.now,
+                up_backlog_bytes=channel.uplink.backlog_bytes,
+                down_backlog_bytes=channel.downlink.backlog_bytes,
+                up_delivered_bytes=channel.uplink.stats.bytes_delivered,
+                down_delivered_bytes=channel.downlink.stats.bytes_delivered,
+                up_rate_bps=channel.uplink.current_rate(),
+                down_rate_bps=channel.downlink.current_rate(),
+                base_rtt=channel.base_rtt(),
             )
+            self.series[channel.name].samples.append(sample)
+            if obs is not None:
+                name = channel.name
+                self._gauges[(name, "up", "backlog")].set(sample.up_backlog_bytes)
+                self._gauges[(name, "down", "backlog")].set(sample.down_backlog_bytes)
+                self._gauges[(name, "up", "rate")].set(sample.up_rate_bps)
+                self._gauges[(name, "down", "rate")].set(sample.down_rate_bps)
+                if obs.trace is not None:
+                    obs.trace.append(
+                        {
+                            "kind": "channel",
+                            "time": sample.time,
+                            "channel": name,
+                            "up_backlog_bytes": sample.up_backlog_bytes,
+                            "down_backlog_bytes": sample.down_backlog_bytes,
+                            "up_delivered_bytes": sample.up_delivered_bytes,
+                            "down_delivered_bytes": sample.down_delivered_bytes,
+                            "up_rate_bps": sample.up_rate_bps,
+                            "down_rate_bps": sample.down_rate_bps,
+                            "base_rtt": sample.base_rtt,
+                        }
+                    )
 
     def stop(self) -> None:
         """Stop sampling (existing series remain readable)."""

@@ -144,6 +144,13 @@ class Device:
         #: Instrumentation hooks: fn(packet, channel_index).
         self.on_send_hooks: List[Callable[[Packet, int], None]] = []
         self.on_receive_hooks: List[Callable[[Packet], None]] = []
+        #: Tracing adapter (:class:`repro.obs.DeviceObs`); ``None`` unless
+        #: tracing is enabled.
+        self.obs = None
+        #: The :class:`repro.obs.Observability` context this device is wired
+        #: into (set by ``wire_network`` even with tracing off) — transports
+        #: look here at construction time to attach their probes.
+        self.obs_ctx = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -192,6 +199,8 @@ class Device:
             raise SteeringError(
                 f"steering policy returned no channel for packet {packet.packet_id}"
             )
+        if self.obs is not None:
+            self.obs.on_steer(packet, choices, self.sim.now)
         packet.sent_at = self.sim.now
         # Channel-aware transports (channel_hint set) do their own
         # reassembly; the shim resequencer only protects legacy
@@ -240,6 +249,8 @@ class Device:
             self._dispatch(packet)
 
     def _dispatch(self, packet: Packet) -> None:
+        if self.obs is not None:
+            self.obs.on_dispatch(packet, self.sim.now)
         for hook in self.on_receive_hooks:
             hook(packet)
         handler = self._handlers.get(packet.flow_id, self._default_handler)

@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` — alias for ``python -m repro obs``."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

@@ -1,0 +1,70 @@
+"""``repro obs`` subcommands: summarize and validate exported traces.
+
+Examples::
+
+    python -m repro obs summarize traces/fig1a-cubic.jsonl
+    python -m repro obs summarize traces/fig1a-cubic.jsonl --json
+    python -m repro obs validate traces/fig1a-cubic.jsonl
+
+``validate`` exits non-zero when the trace violates the schema in
+:mod:`repro.obs.export` — the CI smoke step relies on this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.export import validate_file
+from repro.obs.summarize import summarize_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Inspect JSONL traces exported by the repro.obs layer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summarize = sub.add_parser(
+        "summarize", help="render per-channel/per-connection summaries"
+    )
+    summarize.add_argument("trace", help="path to a JSONL trace file")
+    summarize.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    validate = sub.add_parser("validate", help="check a trace against the schema")
+    validate.add_argument("trace", help="path to a JSONL trace file")
+    validate.add_argument(
+        "--max-errors", type=int, default=20, help="errors to print before stopping"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "summarize":
+        summary = summarize_file(args.trace)
+        if args.json:
+            print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(summary.render())
+        return 0
+    if args.command == "validate":
+        count, errors = validate_file(args.trace)
+        if errors:
+            for error in errors[: args.max_errors]:
+                print(f"INVALID: {error}", file=sys.stderr)
+            if len(errors) > args.max_errors:
+                print(
+                    f"... and {len(errors) - args.max_errors} more", file=sys.stderr
+                )
+            return 1
+        print(f"OK: {count} records, schema valid")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

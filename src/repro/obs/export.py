@@ -1,0 +1,129 @@
+"""Trace export: JSON Lines writing, reading and schema validation.
+
+Every record is one flat JSON object with at least ``kind`` (str) and
+``time`` (number). The schema below lists, per kind, the required fields
+and their types; extra fields are allowed (forward compatibility), missing
+or mistyped ones are validation errors. ``repro obs validate`` (and the CI
+smoke step) run :func:`validate_file` over exported traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+_NUM = (int, float)
+_INT = (int,)
+_STR = (str,)
+_LIST = (list,)
+_DICT = (dict,)
+_OPT_NUM = (int, float, type(None))
+_OPT_INT = (int, type(None))
+
+#: kind -> {field: allowed types}. ``kind``/``time`` are checked for all.
+TRACE_SCHEMA: Dict[str, Dict[str, tuple]] = {
+    "meta": {"version": _INT},
+    "steer": {
+        "host": _STR, "policy": _STR, "packet_id": _INT, "flow": _INT,
+        "ptype": _STR, "bytes": _INT, "channels": _LIST,
+    },
+    "enqueue": {
+        "channel": _STR, "direction": _STR, "packet_id": _INT, "copy": _INT,
+        "flow": _INT, "ptype": _STR, "bytes": _INT,
+    },
+    "transmit": {
+        "channel": _STR, "direction": _STR, "packet_id": _INT, "copy": _INT,
+        "flow": _INT, "ptype": _STR, "bytes": _INT,
+    },
+    "deliver": {
+        "channel": _STR, "direction": _STR, "packet_id": _INT, "copy": _INT,
+        "flow": _INT, "ptype": _STR, "bytes": _INT,
+    },
+    "drop": {
+        "channel": _STR, "direction": _STR, "packet_id": _INT, "copy": _INT,
+        "flow": _INT, "ptype": _STR, "bytes": _INT, "reason": _STR,
+    },
+    "dispatch": {"host": _STR, "packet_id": _INT, "copy": _INT, "flow": _INT},
+    "channel": {
+        "channel": _STR,
+        "up_backlog_bytes": _INT, "down_backlog_bytes": _INT,
+        "up_delivered_bytes": _INT, "down_delivered_bytes": _INT,
+        "up_rate_bps": _NUM, "down_rate_bps": _NUM, "base_rtt": _NUM,
+    },
+    "transport": {
+        "host": _STR, "flow": _INT, "cwnd_bytes": _NUM, "srtt": _OPT_NUM,
+        "rto": _NUM, "inflight_bytes": _INT, "event": _STR, "subflow": _OPT_INT,
+    },
+    "metrics": {"metrics": _DICT},
+}
+
+#: Drop reasons the schema accepts.
+DROP_REASONS = ("overflow", "loss", "down")
+
+
+def validate_record(record: dict) -> List[str]:
+    """Schema errors for one record (empty list = valid)."""
+    errors: List[str] = []
+    kind = record.get("kind")
+    if not isinstance(kind, str):
+        return [f"record has no string 'kind': {record!r}"]
+    if kind not in TRACE_SCHEMA:
+        return [f"unknown record kind {kind!r}"]
+    if not isinstance(record.get("time"), _NUM):
+        errors.append(f"{kind}: 'time' must be a number")
+    for fld, types in TRACE_SCHEMA[kind].items():
+        if fld not in record:
+            errors.append(f"{kind}: missing field {fld!r}")
+            continue
+        value = record[fld]
+        # bool is an int subclass in Python; don't let it satisfy _INT/_NUM.
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
+            errors.append(f"{kind}: field {fld!r} has type {type(value).__name__}")
+    if kind == "drop" and record.get("reason") not in DROP_REASONS:
+        errors.append(f"drop: unknown reason {record.get('reason')!r}")
+    return errors
+
+
+def write_jsonl(records: Iterable[dict], path: Union[str, Path]) -> int:
+    """Write records as JSON Lines; returns how many were written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Load every record from a JSON Lines trace file."""
+    records: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON ({exc})") from exc
+    return records
+
+
+def validate_file(path: Union[str, Path]) -> Tuple[int, List[str]]:
+    """(record count, schema errors) for a JSONL trace file."""
+    errors: List[str] = []
+    records = read_jsonl(path)
+    for index, record in enumerate(records):
+        for error in validate_record(record):
+            errors.append(f"record {index}: {error}")
+    if not records:
+        errors.append("trace is empty")
+    elif records[0].get("kind") != "meta":
+        errors.append("first record must be 'meta'")
+    return len(records), errors

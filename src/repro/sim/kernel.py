@@ -34,6 +34,15 @@ class Simulator:
         self._running = False
         self._stop_requested = False
         self.events_processed = 0
+        #: Optional :class:`repro.obs.Observability` context. ``None`` keeps
+        #: the dispatch loop untouched; when set, each ``run`` folds its
+        #: event count into the ``sim.events_processed`` counter afterwards
+        #: (off the per-event hot path).
+        self._obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability context (see :mod:`repro.obs`)."""
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -67,7 +76,12 @@ class Simulator:
         until:
             Stop once the clock would pass this time. The clock is advanced
             to ``until`` even if no event fires exactly then, so repeated
-            ``run(until=...)`` calls behave like contiguous epochs.
+            ``run(until=...)`` calls behave like contiguous epochs — but only
+            when the queue was actually drained up to ``until``. If the run
+            stops early (``max_events`` reached, or :meth:`stop` called)
+            while events earlier than ``until`` are still pending, the clock
+            stays at the last processed event so a later ``run`` never moves
+            it backwards.
         max_events:
             Safety valve for runaway event cascades in tests.
         """
@@ -76,6 +90,7 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         processed_this_run = 0
+        drained = False
         # Hot path: one fused heap sweep per event (pop_next) instead of the
         # historical peek_time()+pop() pair, with the bound methods hoisted
         # out of the loop.
@@ -84,6 +99,7 @@ class Simulator:
             while not self._stop_requested:
                 event = pop_next(until)
                 if event is None:
+                    drained = True
                     break
                 self.now = event.time
                 event.callback(*event.args)
@@ -91,10 +107,13 @@ class Simulator:
                 processed_this_run += 1
                 if max_events is not None and processed_this_run >= max_events:
                     break
-            if until is not None and until > self.now and not self._stop_requested:
+            if until is not None and drained and until > self.now:
                 self.now = until
         finally:
             self._running = False
+            obs = self._obs
+            if obs is not None and processed_this_run:
+                obs.registry.counter("sim.events_processed").add(processed_this_run)
 
     def stop(self) -> None:
         """Request the current ``run`` to return after the active event."""

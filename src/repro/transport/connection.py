@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import TransportError
 from repro.net.node import Device
 from repro.net.packet import Packet, PacketType
+from repro.obs.probes import probe_for
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.transport.cc import make_cc
@@ -153,6 +154,10 @@ class Connection:
         #: this >0 models "data tacked onto the ACK" (§3.2 discussion).
         self.ack_bytes = ack_bytes
         self.stats = ConnectionStats()
+        #: Transport probe (:class:`repro.obs.ConnectionProbe`), attached
+        #: automatically when the device is wired into an observability
+        #: context with probes enabled; ``None`` otherwise.
+        self.obs = probe_for(device, flow_id)
 
         # --- send state ---
         self._write_end = 0
@@ -408,6 +413,8 @@ class Connection:
         self.stats.timeouts += 1
         self.rtt.on_timeout()
         self.cc.on_timeout(self.sim.now)
+        if self.obs is not None:
+            self.obs.on_timeout(self)
         first = next((s for s in self._segments if not s.sacked), None)
         if first is not None:
             if not first.lost:
@@ -553,6 +560,8 @@ class Connection:
             total_delivered=self._total_delivered,
         )
         self.cc.on_ack(sample)
+        if self.obs is not None:
+            self.obs.on_ack(self)
         self._fire_acked_messages()
         if self._snd_una < self._snd_nxt:
             self._arm_rto()

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import TransportError
 from repro.net.node import Device
 from repro.net.packet import Packet, PacketType
+from repro.obs.probes import probe_for
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.transport.cc import make_cc
@@ -108,6 +109,10 @@ class MultipathConnection:
         self.delivered_timeline: List[Tuple[float, int]] = []
         self.retransmissions = 0
         self.timeouts = 0
+        #: Transport probe (:class:`repro.obs.MultipathProbe`): one
+        #: cwnd/srtt/inflight/RTO series per subflow when the device is
+        #: wired into an observability context with probes enabled.
+        self.obs = probe_for(device, flow_id, multipath=True)
 
         # Data-level send state (mirrors Connection's, minus per-conn CC).
         self._write_end = 0
@@ -358,6 +363,8 @@ class MultipathConnection:
         carrier = self._subflow_for(first.channel)
         carrier.rtt.on_timeout()
         carrier.cc.on_timeout(self.sim.now)
+        if self.obs is not None:
+            self.obs.on_subflow_timeout(self, carrier)
         if not first.lost:
             carrier.in_flight = max(0, carrier.in_flight - first.size)
             first.lost = True
@@ -491,6 +498,8 @@ class MultipathConnection:
                     total_delivered=self._total_delivered,
                 )
             )
+            if self.obs is not None:
+                self.obs.on_subflow_ack(self, subflow)
         self._detect_losses()
         self._fire_acked_messages()
         if self._snd_una < self._snd_nxt:

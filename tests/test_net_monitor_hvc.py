@@ -15,7 +15,7 @@ from repro.net.hvc import (
     urllc_spec,
     wifi_mlo_specs,
 )
-from repro.net.monitor import ChannelMonitor
+from repro.net.monitor import ChannelMonitor, ChannelSample, ChannelSeries
 from repro.sim.kernel import Simulator
 from repro.traces.catalog import get_trace
 from repro.units import kb, mbps, ms
@@ -109,6 +109,73 @@ class TestChannelMonitor:
         monitor = ChannelMonitor(net.sim, net.channels)
         with pytest.raises(ValueError):
             monitor["embb"].utilization("sideways")
+
+
+class TestUtilizationBounds:
+    """Regression: utilization used the interval-*start* rate as capacity,
+    so a trace channel whose rate rose mid-interval reported > 1.0."""
+
+    @staticmethod
+    def _sample(time, delivered, rate):
+        return ChannelSample(
+            time=time,
+            up_backlog_bytes=0,
+            down_backlog_bytes=0,
+            up_delivered_bytes=delivered,
+            down_delivered_bytes=delivered,
+            up_rate_bps=rate,
+            down_rate_bps=rate,
+            base_rtt=0.01,
+        )
+
+    def test_step_rate_trace_stays_bounded(self):
+        # Rate steps 1 -> 10 Mbps just after t=0; the channel really
+        # carries ~10 Mb in [0, 1]. Interval-start capacity (1 Mb) would
+        # report utilization 10.0; the trapezoid credits 5.5 Mb and the
+        # clamp caps the remainder.
+        series = ChannelSeries(name="stepped")
+        series.samples = [
+            self._sample(0.0, delivered=0, rate=1_000_000.0),
+            self._sample(1.0, delivered=1_250_000, rate=10_000_000.0),
+        ]
+        for direction in ("up", "down"):
+            assert series.utilization(direction) <= 1.0
+        assert series.clamp_warnings == 2
+
+    def test_rising_rate_credits_trapezoid_capacity(self):
+        # Delivered exactly the trapezoid capacity: utilization is 1.0
+        # with no clamping, where the old interval-start math said 5.5x.
+        series = ChannelSeries(name="ramp")
+        series.samples = [
+            self._sample(0.0, delivered=0, rate=1_000_000.0),
+            self._sample(1.0, delivered=687_500, rate=10_000_000.0),  # 5.5 Mb
+        ]
+        assert series.utilization("down") == pytest.approx(1.0)
+        assert series.clamp_warnings == 0
+
+    def test_well_resolved_sampling_never_clamps(self):
+        # Fine-grained sampling of a fixed-rate channel under load: the
+        # bound must hold without the clamp ever firing.
+        net = HvcNetwork([fixed_embb_spec(rate_bps=mbps(20))], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.05)
+        BulkTransfer(net, cc="cubic")
+        net.run(until=6.0)
+        series = monitor["embb"]
+        assert 0.0 < series.utilization("up") <= 1.0
+        assert series.clamp_warnings == 0
+
+    def test_traced_channel_utilization_bounded(self):
+        # End-to-end: a trace-driven (time-varying rate) eMBB channel under
+        # bulk load, sampled coarsely on purpose.
+        from repro.traces.catalog import get_trace
+
+        trace = get_trace("5g-lowband-driving", seed=1)
+        net = HvcNetwork([traced_embb_spec(trace)], steering="single")
+        monitor = ChannelMonitor(net.sim, net.channels, period=0.5)
+        BulkTransfer(net, cc="cubic")
+        net.run(until=20.0)
+        for direction in ("up", "down"):
+            assert monitor[net.channels[0].name].utilization(direction) <= 1.0
 
 
 class TestFailureInjection:

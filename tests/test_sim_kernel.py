@@ -186,6 +186,53 @@ class TestSimulator:
         sim.run(max_events=3)
         assert sim.events_processed == 3
 
+    # -- regression: run(until=..., max_events=...) used to fast-forward the
+    # clock to `until` even when the max_events break left events pending,
+    # so the next run() moved the clock backwards. ------------------------
+
+    def test_max_events_break_does_not_fast_forward_clock(self):
+        sim = Simulator()
+        for i in range(1, 11):
+            sim.schedule(float(i), lambda: None)
+        sim.run(until=20.0, max_events=3)
+        # Events at t=4..10 are still pending: the clock must sit at the
+        # last processed event, not jump to the bound.
+        assert sim.now == 3.0
+        assert sim.pending_events == 7
+
+    def test_clock_is_monotonic_across_resumptions(self):
+        sim = Simulator()
+        fired = []
+        for i in range(1, 11):
+            sim.schedule(float(i), fired.append, float(i))
+        observed = []
+        while sim.pending_events:
+            sim.run(until=20.0, max_events=3)
+            observed.append(sim.now)
+        assert observed == sorted(observed)
+        assert fired == [float(i) for i in range(1, 11)]
+        # Only the final, fully-drained run may fast-forward to the bound.
+        assert sim.now == 20.0
+
+    def test_callbacks_never_observe_backwards_clock(self):
+        sim = Simulator()
+        stamps = []
+        for i in range(1, 6):
+            sim.schedule(float(i), lambda: stamps.append(sim.now))
+        sim.run(until=50.0, max_events=2)
+        sim.run(until=50.0)
+        assert stamps == sorted(stamps)
+        assert stamps == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_does_not_fast_forward_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=20.0)
+        assert sim.now == 1.0
+        sim.run(until=20.0)
+        assert sim.now == 20.0
+
     def test_args_are_passed(self):
         sim = Simulator()
         seen = []
