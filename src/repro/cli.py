@@ -100,9 +100,13 @@ def _kwargs_for(name: str, args: argparse.Namespace, runner: ParallelRunner) -> 
     if args.quick and duration is None:
         duration = 10.0
     if duration is not None and name in (
-        "fig1a", "fig1b", "fig2", "ab-cc", "ab-mlo", "ab-mp", "ab-reseq"
+        "fig1a", "fig1b", "fig2", "ab-cc", "ab-mlo", "ab-mp", "ab-reseq", "faults"
     ):
         kwargs["duration"] = duration
+    if name == "faults" and args.quick:
+        # One outage length, shortened run: smoke-test scale.
+        kwargs["outages"] = (1.0,)
+        kwargs["duration"] = duration if duration is not None else 8.0
     if name in ("table1", "baselines", "sweep-urllc-bw", "sweep-threshold", "sweep-urllc-rtt"):
         if args.pages is not None:
             kwargs["page_count"] = args.pages

@@ -171,16 +171,21 @@ class HvcNetwork:
         flow_priority: Optional[int] = None,
         on_server_message=None,
         on_client_message=None,
+        **kwargs,
     ) -> DatagramPair:
-        """Open an unreliable message flow between the two hosts."""
+        """Open an unreliable message flow between the two hosts.
+
+        Extra keyword arguments (e.g. ``blackout="buffer"``) are forwarded
+        to both :class:`~repro.transport.datagram.DatagramSocket` ends.
+        """
         fid = flow_id if flow_id is not None else next_flow_id()
         client = DatagramSocket(
             self.sim, self.client, fid, flow_priority=flow_priority,
-            on_message=on_client_message,
+            on_message=on_client_message, **kwargs,
         )
         server = DatagramSocket(
             self.sim, self.server, fid, flow_priority=flow_priority,
-            on_message=on_server_message,
+            on_message=on_server_message, **kwargs,
         )
         return DatagramPair(client=client, server=server)
 

@@ -16,9 +16,11 @@ Each experiment is a function returning an
 | ab-mlo   | §2.2 MLO replication           | :func:`run_mlo_ablation`  |
 | ab-cost  | §3.1 latency-vs-cost           | :func:`run_cost_ablation` |
 | ab-mp    | §4 multipath subflow design    | :func:`run_multipath_ablation` |
+| faults   | §3.2 outage resilience sweep   | :func:`run_faults`        |
 """
 
 from repro.experiments.fig1 import run_fig1a, run_fig1b
+from repro.experiments.faults import run_faults
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.table1 import run_table1
 from repro.experiments.ablations import (
@@ -50,6 +52,7 @@ EXPERIMENTS = {
     "ab-mp": run_multipath_ablation,
     "ab-reseq": run_resequencer_ablation,
     "ab-tsn": run_tsn_ablation,
+    "faults": run_faults,
     "baselines": run_baselines,
     "sweep-urllc-bw": run_urllc_bandwidth_sweep,
     "sweep-threshold": run_threshold_sweep,
@@ -71,6 +74,7 @@ __all__ = [
     "run_resequencer_ablation",
     "run_tsn_ablation",
     "run_baselines",
+    "run_faults",
     "run_urllc_bandwidth_sweep",
     "run_threshold_sweep",
     "run_urllc_rtt_sweep",

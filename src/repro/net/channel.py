@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.errors import NetworkError
 from repro.net.link import Link, LinkSpec
@@ -96,7 +96,20 @@ class Channel:
         rng = rng if rng is not None else random.Random(index)
         self.uplink = Link(sim, spec.up.to_link_spec(), name=f"{spec.name}.up", rng=rng)
         self.downlink = Link(sim, spec.down.to_link_spec(), name=f"{spec.name}.down", rng=rng)
-        self.up = True
+        #: Administrative master switch (:meth:`set_up`).
+        self._admin_up = True
+        #: Active fault holds (:meth:`fail`/:meth:`restore`). Reference
+        #: counting is what makes overlapping outages compose: the channel
+        #: is up only when *every* hold has been released.
+        self._down_refs = 0
+        #: Observers called as ``fn(channel, up, now)`` on every up/down
+        #: *transition* (redundant holds do not re-fire).
+        self.on_transition: List[Callable[["Channel", bool, float], None]] = []
+        #: Down/up bookkeeping for resilience metrics.
+        self.outage_count = 0
+        self.downtime_total = 0.0
+        self.last_down_at: Optional[float] = None
+        self.last_up_at: float = 0.0
         #: Total bytes billed on this channel (both directions).
         self.cost_bytes = 0
 
@@ -120,11 +133,53 @@ class Channel:
         """Propagation-only round-trip time right now."""
         return self.uplink.current_delay() + self.downlink.current_delay()
 
+    @property
+    def up(self) -> bool:
+        """Up iff administratively enabled *and* no fault holds it down."""
+        return self._admin_up and self._down_refs == 0
+
     def set_up(self, up: bool) -> None:
-        """Administratively enable/disable both directions."""
-        self.up = up
-        self.uplink.up = up
-        self.downlink.up = up
+        """Administratively enable/disable both directions.
+
+        This is the master switch; it composes with fault holds — an
+        administratively-disabled channel stays down however many holds
+        are released.
+        """
+        was_up = self.up
+        self._admin_up = up
+        self._apply_state(was_up)
+
+    def fail(self) -> None:
+        """Acquire one fault hold (the channel goes down if it was up)."""
+        was_up = self.up
+        self._down_refs += 1
+        self._apply_state(was_up)
+
+    def restore(self) -> None:
+        """Release one fault hold (up again once all holds are released)."""
+        if self._down_refs <= 0:
+            raise NetworkError(f"channel {self.name!r}: restore() without fail()")
+        was_up = self.up
+        self._down_refs -= 1
+        self._apply_state(was_up)
+
+    def _apply_state(self, was_up: bool) -> None:
+        now_up = self.up
+        self.uplink.up = now_up
+        self.downlink.up = now_up
+        if now_up == was_up:
+            return
+        now = self.sim.now
+        if now_up:
+            self.last_up_at = now
+            if self.last_down_at is not None:
+                self.downtime_total += now - self.last_down_at
+                self.last_down_at = None
+        else:
+            self.outage_count += 1
+            self.last_down_at = now
+        for hook in self.on_transition:
+            hook(self, now_up, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.index}:{self.name} rtt={self.base_rtt() * 1e3:.1f}ms>"

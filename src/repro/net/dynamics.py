@@ -48,11 +48,18 @@ class ChannelTimeline:
         self.sim.schedule_at(time, action, self.channel)
 
     def outage(self, start: float, duration: float) -> None:
-        """Take the channel down at ``start`` for ``duration`` seconds."""
+        """Take the channel down at ``start`` for ``duration`` seconds.
+
+        Outages hold the channel down via :meth:`Channel.fail` /
+        :meth:`Channel.restore` reference counting, so overlapping outages
+        compose: the channel comes back only when the *last* active outage
+        ends (an earlier outage's end no longer re-enables the channel
+        mid-way through a later one).
+        """
         if duration <= 0:
             raise NetworkError(f"outage duration must be positive, got {duration}")
-        self.at(start, lambda ch: ch.set_up(False), f"outage begin ({duration:.2f}s)")
-        self.at(start + duration, lambda ch: ch.set_up(True), "outage end")
+        self.at(start, lambda ch: ch.fail(), f"outage begin ({duration:.2f}s)")
+        self.at(start + duration, lambda ch: ch.restore(), "outage end")
 
     def flap(self, start: float, period: float, count: int, down_fraction: float = 0.5) -> None:
         """``count`` down/up cycles of ``period`` seconds from ``start``.

@@ -57,6 +57,8 @@ class LinkStats:
     delivered: int = 0
     lost: int = 0
     overflow_drops: int = 0
+    #: Packets discarded from the queue by a fault flush (handover blackout).
+    flushed: int = 0
     bytes_delivered: int = 0
     busy_time: float = 0.0
 
@@ -82,6 +84,11 @@ class Link:
         self.stats = LinkStats()
         self.receiver: Optional[Callable[[Packet], None]] = None
         self.up = True
+        #: Fault-injection overlays (see :mod:`repro.faults`): additive
+        #: propagation delay (RTT spike) and multiplicative rate scaling
+        #: (capacity collapse). Both compose with traces.
+        self.delay_offset = 0.0
+        self.rate_factor = 1.0
         self._serving: Optional[Packet] = None
         self._last_delivery_time = -1.0
         #: Optional instrumentation hook called as ``fn(packet, link)``
@@ -98,14 +105,14 @@ class Link:
     def current_rate(self) -> float:
         """Serialization rate right now (bits/s); 0 during a trace outage."""
         if self.spec.trace is not None:
-            return float(self.spec.trace.rate_at(self.sim.now))
-        return self.spec.rate_bps
+            return float(self.spec.trace.rate_at(self.sim.now)) * self.rate_factor
+        return self.spec.rate_bps * self.rate_factor
 
     def current_delay(self) -> float:
         """One-way propagation delay right now (seconds)."""
         if self.spec.trace is not None:
-            return float(self.spec.trace.delay_at(self.sim.now))
-        return self.spec.delay
+            return float(self.spec.trace.delay_at(self.sim.now)) + self.delay_offset
+        return self.spec.delay + self.delay_offset
 
     @property
     def backlog_bytes(self) -> int:
@@ -141,6 +148,25 @@ class Link:
         if self._serving is None:
             self._start_next()
         return True
+
+    def flush(self) -> int:
+        """Discard every queued packet (handover blackout semantics).
+
+        Models a base-station handover dropping the buffered downlink/uplink
+        queue. The packet currently serializing and packets already
+        propagating are "in the air" and unaffected. Returns the number of
+        packets discarded.
+        """
+        flushed = 0
+        while True:
+            packet = self.queue.dequeue()
+            if packet is None:
+                break
+            flushed += 1
+            if self.obs is not None:
+                self.obs.on_overflow(packet, self.sim.now, reason="flush")
+        self.stats.flushed += flushed
+        return flushed
 
     # ------------------------------------------------------------------
     # Internal pipeline

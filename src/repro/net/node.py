@@ -107,6 +107,11 @@ class DeviceStats:
     packets_received: int = 0
     duplicates_discarded: int = 0
     send_drops: int = 0
+    #: Sends attempted while *no* channel was up (total blackout). Dropped
+    #: at the device instead of raising: reliable transports retransmit
+    #: after recovery, unreliable ones degrade (a lost frame is a lost
+    #: frame).
+    blackout_drops: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
 
@@ -144,6 +149,10 @@ class Device:
         #: Instrumentation hooks: fn(packet, channel_index).
         self.on_send_hooks: List[Callable[[Packet, int], None]] = []
         self.on_receive_hooks: List[Callable[[Packet], None]] = []
+        #: Channel up/down observers: fn(channel, up, now). Transports
+        #: subscribe to react to recovery (fast RTO re-probe, buffered
+        #: datagram flush) without polling.
+        self.on_channel_transition_hooks: List[Callable] = []
         #: Tracing adapter (:class:`repro.obs.DeviceObs`); ``None`` unless
         #: tracing is enabled.
         self.obs = None
@@ -162,6 +171,7 @@ class Device:
         self.views = [ChannelView(ch, end) for ch in self.channels]
         for channel in self.channels:
             channel.in_link(end).connect(self._on_link_deliver)
+            channel.on_transition.append(self._on_channel_transition)
 
     def set_steerer(self, steerer: object) -> None:
         """Install the steering policy (anything with ``choose``)."""
@@ -184,10 +194,23 @@ class Device:
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
+    def any_channel_up(self) -> bool:
+        """False during a total blackout (every channel down)."""
+        return any(channel.up for channel in self.channels)
+
     def send(self, packet: Packet) -> None:
         """Steer and transmit one packet (possibly onto several channels)."""
         if not self.channels:
             raise NetworkError(f"device {self.name} has no channels attached")
+        if not self.any_channel_up():
+            # Total blackout: no policy can route. Degrade gracefully —
+            # count the drop and let the sender's recovery machinery
+            # (RTO, datagram loss tolerance) handle it, instead of letting
+            # a steering policy raise mid-run.
+            self.stats.blackout_drops += 1
+            if self.obs is not None:
+                self.obs.on_blackout_drop(packet, self.sim.now)
+            return
         if packet.channel_hint is not None:
             # A channel-aware transport (multipath subflow) owns placement.
             choices: Sequence[int] = (packet.channel_hint,)
@@ -256,6 +279,10 @@ class Device:
         handler = self._handlers.get(packet.flow_id, self._default_handler)
         if handler is not None:
             handler(packet)
+
+    def _on_channel_transition(self, channel: Channel, up: bool, now: float) -> None:
+        for hook in list(self.on_channel_transition_hooks):
+            hook(channel, up, now)
 
     def _is_duplicate(self, packet: Packet) -> bool:
         seen = self._seen.setdefault(packet.flow_id, set())

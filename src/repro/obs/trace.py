@@ -224,6 +224,28 @@ class DeviceObs:
                 }
             )
 
+    def on_blackout_drop(self, packet, now: float) -> None:
+        """Packet dropped at the device: every channel down, nothing to steer to.
+
+        Emitted with the link-drop schema (reason "down") so span tooling
+        attributes the loss; channel is "-" because none was selectable.
+        """
+        if self.trace is not None:
+            self.trace.append(
+                {
+                    "kind": "drop",
+                    "time": now,
+                    "channel": "-",
+                    "direction": "up",
+                    "packet_id": packet.packet_id,
+                    "copy": packet.copy_index,
+                    "flow": packet.flow_id,
+                    "ptype": packet.ptype.value,
+                    "bytes": packet.size_bytes,
+                    "reason": "down",
+                }
+            )
+
     def on_dispatch(self, packet, now: float) -> None:
         if self.trace is not None:
             self.trace.append(
@@ -302,6 +324,7 @@ def _add_device_collector(registry: MetricsRegistry, device) -> None:
     c_received = registry.counter("device.packets_received", **labels)
     c_dupes = registry.counter("device.duplicates_discarded", **labels)
     c_drops = registry.counter("device.send_drops", **labels)
+    c_blackout = registry.counter("device.blackout_drops", **labels)
     c_bytes_sent = registry.counter("device.bytes_sent", **labels)
     c_bytes_received = registry.counter("device.bytes_received", **labels)
     stats = device.stats
@@ -311,6 +334,7 @@ def _add_device_collector(registry: MetricsRegistry, device) -> None:
         c_received.set_total(stats.packets_received)
         c_dupes.set_total(stats.duplicates_discarded)
         c_drops.set_total(stats.send_drops)
+        c_blackout.set_total(stats.blackout_drops)
         c_bytes_sent.set_total(stats.bytes_sent)
         c_bytes_received.set_total(stats.bytes_received)
 

@@ -11,11 +11,65 @@ channel characteristics. Policies must tolerate untagged packets.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SteeringError
 from repro.net.node import ChannelView
 from repro.net.packet import Packet
+
+
+class ChannelHealth:
+    """Sender-local channel up/down tracking with re-up hysteresis.
+
+    A deployable shim observes channel state only at packet times, so this
+    tracker infers transitions from successive ``choose()`` calls. Its job
+    is *failback hysteresis*: a channel that just recovered from an outage
+    is not trusted again until it has stayed up for ``hysteresis`` seconds,
+    which keeps a flapping channel from whipsawing traffic (and delay-based
+    CC state) on every blip. Failover in the other direction is immediate —
+    a down channel is never usable.
+    """
+
+    def __init__(self, hysteresis: float = 0.5) -> None:
+        if hysteresis < 0:
+            raise SteeringError(f"hysteresis must be >= 0, got {hysteresis}")
+        self.hysteresis = hysteresis
+        self._was_up: Dict[int, bool] = {}
+        self._reup_at: Dict[int, float] = {}
+        #: Observed up/down transitions (both directions), for inspection.
+        self.transitions = 0
+
+    def update(self, views: Sequence[ChannelView], now: float) -> None:
+        """Fold in the current view states (call once per ``choose()``)."""
+        for view in views:
+            previous = self._was_up.get(view.index)
+            if previous is None:
+                self._was_up[view.index] = view.up
+                continue
+            if view.up != previous:
+                self._was_up[view.index] = view.up
+                self.transitions += 1
+                if view.up:
+                    self._reup_at[view.index] = now
+
+    def trusted(self, view: ChannelView, now: float) -> bool:
+        """Up, and up for long enough that failback is safe."""
+        if not view.up:
+            return False
+        reup_at = self._reup_at.get(view.index)
+        return reup_at is None or now - reup_at >= self.hysteresis
+
+    def usable(self, views: Sequence[ChannelView], now: float) -> List[ChannelView]:
+        """Trusted channels, falling back to merely-up ones, else error.
+
+        The fallback keeps the policy total: when *every* surviving channel
+        is inside its hysteresis window, refusing to send would be worse
+        than trusting early.
+        """
+        self.update(views, now)
+        alive = up_views(views)
+        trusted = [view for view in alive if self.trusted(view, now)]
+        return trusted if trusted else alive
 
 
 class Steerer:
@@ -59,3 +113,19 @@ def best_delivery(views: Sequence[ChannelView], size_bytes: int) -> ChannelView:
     return min(
         up_views(views), key=lambda v: v.estimated_delivery_delay(size_bytes)
     )
+
+
+def risk_adjusted_delay(view: ChannelView, size_bytes: int) -> float:
+    """Delivery-delay estimate inflated by the channel's current loss rate.
+
+    ``delay / (1 - loss)`` is the expected delay counting geometric
+    retransmission attempts — the outage-aware cost term: a channel inside
+    a loss burst (whose :class:`~repro.faults.FaultLossOverlay` raises its
+    advertised ``loss_rate``) prices itself out of the comparison instead
+    of silently eating the flow's tail latency.
+    """
+    delay = view.estimated_delivery_delay(size_bytes)
+    loss = view.loss_rate
+    if loss >= 1.0:
+        return float("inf")
+    return delay / (1.0 - loss)

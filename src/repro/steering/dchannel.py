@@ -24,7 +24,12 @@ from typing import Dict
 
 from repro.net.node import ChannelView
 from repro.net.packet import Packet, PacketType
-from repro.steering.base import Steerer, lowest_latency, up_views
+from repro.steering.base import (
+    ChannelHealth,
+    Steerer,
+    lowest_latency,
+    risk_adjusted_delay,
+)
 
 
 class DChannelSteerer(Steerer):
@@ -45,6 +50,15 @@ class DChannelSteerer(Steerer):
     Control packets get a more generous cap (``control_cap_factor``):
     DChannel's gains come substantially from accelerating ACKs and other
     small control messages.
+
+    Resilience: channel failures steer around immediately (a down channel
+    is never chosen) while *failback* is damped — a channel that just
+    recovered is distrusted for ``hysteresis`` seconds so a flapping link
+    cannot whipsaw the flow (:class:`~repro.steering.base.ChannelHealth`).
+    Delivery estimates are loss-inflated
+    (:func:`~repro.steering.base.risk_adjusted_delay`), so a loss burst
+    prices a channel out of the reward comparison rather than poisoning the
+    flow's tail.
     """
 
     name = "dchannel"
@@ -55,6 +69,7 @@ class DChannelSteerer(Steerer):
         accelerate_control: bool = True,
         queue_cap_factor: float = 1.0,
         control_cap_factor: float = 3.0,
+        hysteresis: float = 0.5,
     ) -> None:
         if savings_threshold < 0:
             raise ValueError(f"savings_threshold must be >= 0, got {savings_threshold}")
@@ -64,6 +79,7 @@ class DChannelSteerer(Steerer):
         self.accelerate_control = accelerate_control
         self.queue_cap_factor = queue_cap_factor
         self.control_cap_factor = control_cap_factor
+        self.health = ChannelHealth(hysteresis=hysteresis)
         #: flow → estimated arrival time of its newest HB-routed DATA packet.
         #: Reliable streams are delivered in order (the receiving shim
         #: resequences), so steering a DATA packet to the LL channel while
@@ -73,7 +89,7 @@ class DChannelSteerer(Steerer):
         self._hb_arrival: Dict[int, float] = {}
 
     def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
-        alive = up_views(views)
+        alive = self.health.usable(views, now)
         if len(alive) == 1:
             return (alive[0].index,)
         ll = lowest_latency(alive)
@@ -86,8 +102,8 @@ class DChannelSteerer(Steerer):
         # DChannel itself is a two-channel design, §4.)
         hb = max(others, key=lambda v: v.rate_bps)
 
-        d_ll = ll.estimated_delivery_delay(packet.size_bytes)
-        d_hb = hb.estimated_delivery_delay(packet.size_bytes)
+        d_ll = risk_adjusted_delay(ll, packet.size_bytes)
+        d_hb = risk_adjusted_delay(hb, packet.size_bytes)
         base_gap = max(0.0, hb.base_delay - ll.base_delay)
         is_control = packet.is_control and self.accelerate_control
         cap = base_gap * (

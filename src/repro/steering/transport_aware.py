@@ -22,7 +22,12 @@ from typing import Optional, Sequence
 
 from repro.net.node import ChannelView
 from repro.net.packet import Packet, PacketType
-from repro.steering.base import Steerer, lowest_latency, up_views
+from repro.steering.base import (
+    ChannelHealth,
+    Steerer,
+    lowest_latency,
+    risk_adjusted_delay,
+)
 from repro.steering.dchannel import DChannelSteerer
 
 
@@ -36,6 +41,7 @@ class TransportAwareSteerer(Steerer):
         accelerate_tail: bool = True,
         small_message_bytes: int = 3000,
         inner: Optional[Steerer] = None,
+        hysteresis: float = 0.5,
     ) -> None:
         """
         Parameters
@@ -48,19 +54,26 @@ class TransportAwareSteerer(Steerer):
             steer them whole onto the low-latency channel when it wins.
         inner:
             Policy for bulk data (default: DChannel's delay comparison).
+        hysteresis:
+            Failback damping: a channel that just recovered from an outage
+            is distrusted for this many seconds.
         """
         self.accelerate_tail = accelerate_tail
         self.small_message_bytes = small_message_bytes
-        self.inner = inner if inner is not None else DChannelSteerer()
+        self.inner = inner if inner is not None else DChannelSteerer(hysteresis=hysteresis)
+        self.health = ChannelHealth(hysteresis=hysteresis)
 
     def _reliable_choice(self, alive: Sequence[ChannelView]) -> Optional[int]:
-        guaranteed = [v for v in alive if v.reliable]
+        """Control/repair traffic prefers a reliability guarantee — but not
+        one inside a loss burst: a "reliable" channel whose advertised loss
+        has spiked is currently worse than an ordinary clean channel."""
+        guaranteed = [v for v in alive if v.reliable and v.loss_rate < 0.01]
         if not guaranteed:
             return None
         return min(guaranteed, key=lambda v: v.base_delay).index
 
     def choose(self, packet: Packet, views: Sequence[ChannelView], now: float) -> Sequence[int]:
-        alive = up_views(views)
+        alive = self.health.usable(views, now)
         if len(alive) == 1:
             return (alive[0].index,)
         ll = lowest_latency(alive)
@@ -86,10 +99,10 @@ class TransportAwareSteerer(Steerer):
 
         others = [v for v in alive if v.index != ll.index]
         hb = min(
-            others, key=lambda v: v.estimated_delivery_delay(packet.size_bytes)
+            others, key=lambda v: risk_adjusted_delay(v, packet.size_bytes)
         )
-        ll_wins = ll.estimated_delivery_delay(packet.size_bytes) < (
-            hb.estimated_delivery_delay(packet.size_bytes)
+        ll_wins = risk_adjusted_delay(ll, packet.size_bytes) < (
+            risk_adjusted_delay(hb, packet.size_bytes)
         )
 
         # Small messages ride the low-latency channel whole.

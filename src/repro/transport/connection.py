@@ -115,6 +115,12 @@ class ConnectionStats:
     segments_sent: int = 0
     retransmissions: int = 0
     timeouts: int = 0
+    #: RTOs that fired while *every* channel was down. Retransmitting into a
+    #: blackout is pointless and would poison the congestion controller, so
+    #: these back off the timer without touching cwnd.
+    blackout_timeouts: int = 0
+    #: Fast retransmissions issued right after a channel came back up.
+    recovery_probes: int = 0
     fast_retransmits: int = 0
     rtt_records: List[RttRecord] = field(default_factory=list)
     #: (time, cumulative bytes delivered) checkpoints for throughput series.
@@ -187,8 +193,12 @@ class Connection:
         self._established = not handshake
         self._handshake_pending = handshake
         self._closed = False
+        #: True while RTOs are being suppressed because no channel is up;
+        #: cleared by the first channel-up transition, which re-probes fast.
+        self._blackout_suppressed = False
 
         device.register_flow(flow_id, self._on_packet)
+        device.on_channel_transition_hooks.append(self._on_channel_transition)
 
     # ==================================================================
     # Application interface
@@ -239,6 +249,10 @@ class Connection:
             self.sim.cancel(self._pacing_event)
             self._pacing_event = None
         self.device.unregister_flow(self.flow_id)
+        try:
+            self.device.on_channel_transition_hooks.remove(self._on_channel_transition)
+        except ValueError:
+            pass
 
     @property
     def bytes_in_flight(self) -> int:
@@ -410,21 +424,73 @@ class Connection:
         self._rto_event = None
         if self._closed or self._snd_una >= self._snd_nxt:
             return
+        if not self.device.any_channel_up():
+            # Total blackout: the timeout measured the outage, not
+            # congestion. Don't collapse cwnd, don't waste a retransmission
+            # the device would drop anyway — just back the timer off and
+            # wait for the channel-up signal to re-probe.
+            self.stats.blackout_timeouts += 1
+            self.rtt.on_timeout()
+            self._blackout_suppressed = True
+            if self.obs is not None:
+                # Probe the suppressed fire too: a run of timeout samples
+                # with growing RTO but flat cwnd is the blackout signature.
+                self.obs.on_timeout(self)
+            self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
+            return
         self.stats.timeouts += 1
         self.rtt.on_timeout()
         self.cc.on_timeout(self.sim.now)
         if self.obs is not None:
             self.obs.on_timeout(self)
+        # RFC 5681 semantics: after an RTO the whole outstanding window is
+        # presumed lost and the pipe empty. Without this, segments that died
+        # in a channel outage (never SACKed, so never marked lost) keep
+        # inflating flight_bytes above the collapsed cwnd and recovery
+        # degenerates to one segment per backed-off RTO.
+        unsacked = [s for s in self._segments if not s.sacked]
+        for segment in unsacked:
+            if not segment.lost:
+                self._flight_bytes -= segment.size
+                segment.lost = True
+        # Rebuild the retransmission queue in sequence order: the hole at
+        # snd_una is what advances the cumulative ACK (and clears the
+        # backoff), so it must go out first, whatever order losses were
+        # declared in before the timeout.
+        self._retx_queue = list(unsacked)
+        if self._retx_queue:
+            first = self._retx_queue.pop(0)
+            self._retransmit_segment(first)
+            self._try_send()
+        else:
+            self._arm_rto()
+
+    def _on_channel_transition(self, channel, up: bool, now: float) -> None:
+        """Fault-aware recovery: a channel coming back up ends the wait.
+
+        If RTOs were suppressed during a total blackout, the backed-off
+        timer may be minutes out — but the recovery signal is local and
+        certain, so forget the backoff and immediately re-probe with the
+        first unacknowledged segment (no congestion penalty: nothing about
+        the path's capacity was learned from the outage).
+        """
+        if not up or self._closed or not self._blackout_suppressed:
+            return
+        self._blackout_suppressed = False
+        self.rtt.reset_backoff()
+        if self._snd_una >= self._snd_nxt:
+            self._arm_rto()
+            return
         first = next((s for s in self._segments if not s.sacked), None)
         if first is not None:
+            self.stats.recovery_probes += 1
             if not first.lost:
                 self._flight_bytes -= first.size
                 first.lost = True
             if first in self._retx_queue:
                 self._retx_queue.remove(first)
             self._retransmit_segment(first)
-        else:
-            self._arm_rto()
+        self._try_send()
 
     # ==================================================================
     # Receive path
@@ -515,6 +581,11 @@ class Connection:
         if newly_acked:
             self._snd_una = ack_seq
             self._dup_acks = 0
+            # Forward progress proves the path carries data again; a backoff
+            # accumulated during an outage must not throttle recovery (the
+            # acked data may all be retransmissions, so Karn's rule would
+            # never produce the sample that normally clears it).
+            self.rtt.reset_backoff()
             self._total_delivered += newly_acked
             self.stats.bytes_acked = self._snd_una
             self.stats.delivered_timeline.append((self.sim.now, self._total_delivered))

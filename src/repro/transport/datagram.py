@@ -10,7 +10,7 @@ the receiving socket reassembles and reports completed messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import TransportError
 from repro.net.node import Device
@@ -37,6 +37,10 @@ class DatagramMessage:
         return self.total_bytes is not None and self.bytes_received >= self.total_bytes
 
 
+#: Blackout degradation modes for :class:`DatagramSocket`.
+BLACKOUT_MODES = ("drop", "buffer")
+
+
 @dataclass
 class DatagramStats:
     messages_sent: int = 0
@@ -44,10 +48,24 @@ class DatagramStats:
     packets_sent: int = 0
     packets_received: int = 0
     bytes_sent: int = 0
+    #: Messages discarded at send time because every channel was down
+    #: (``blackout="drop"``: a stale frame is worthless once service resumes).
+    messages_blackout_dropped: int = 0
+    #: Messages held during a blackout and sent on recovery
+    #: (``blackout="buffer"``).
+    messages_blackout_buffered: int = 0
 
 
 class DatagramSocket:
-    """One endpoint of an unreliable, message-oriented flow."""
+    """One endpoint of an unreliable, message-oriented flow.
+
+    ``blackout`` selects the graceful-degradation mode when *every* channel
+    is down at send time: ``"drop"`` discards the whole message immediately
+    (right for real-time media — by the time service resumes the frame is
+    stale), ``"buffer"`` holds messages and flushes them in order on the
+    first channel-up transition (right for telemetry/background data where
+    late beats never).
+    """
 
     def __init__(
         self,
@@ -57,19 +75,28 @@ class DatagramSocket:
         mtu_payload: int = DEFAULT_MSS,
         flow_priority: Optional[int] = None,
         on_message: Optional[Callable[[DatagramMessage], None]] = None,
+        blackout: str = "drop",
     ) -> None:
         if mtu_payload <= 0:
             raise TransportError(f"mtu_payload must be positive, got {mtu_payload}")
+        if blackout not in BLACKOUT_MODES:
+            raise TransportError(
+                f"blackout mode must be one of {BLACKOUT_MODES}, got {blackout!r}"
+            )
         self.sim = sim
         self.device = device
         self.flow_id = flow_id
         self.mtu_payload = mtu_payload
         self.flow_priority = flow_priority
         self.on_message = on_message
+        self.blackout = blackout
         self.stats = DatagramStats()
         self._assembly: Dict[int, DatagramMessage] = {}
+        #: Messages awaiting a channel: (size_bytes, message_id, priority).
+        self._blackout_queue: List[tuple] = []
         self._closed = False
         device.register_flow(flow_id, self._on_packet)
+        device.on_channel_transition_hooks.append(self._on_channel_transition)
 
     def send_message(
         self,
@@ -88,6 +115,13 @@ class DatagramSocket:
             raise TransportError(f"flow {self.flow_id}: send on closed socket")
         if size_bytes <= 0:
             raise TransportError(f"message size must be positive, got {size_bytes}")
+        if not self.device.any_channel_up():
+            if self.blackout == "drop":
+                self.stats.messages_blackout_dropped += 1
+            else:
+                self.stats.messages_blackout_buffered += 1
+                self._blackout_queue.append((size_bytes, message_id, priority))
+            return 0
         offset = 0
         packets = 0
         while offset < size_bytes:
@@ -117,6 +151,20 @@ class DatagramSocket:
         if not self._closed:
             self._closed = True
             self.device.unregister_flow(self.flow_id)
+            try:
+                self.device.on_channel_transition_hooks.remove(
+                    self._on_channel_transition
+                )
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _on_channel_transition(self, channel, up: bool, now: float) -> None:
+        if not up or self._closed or not self._blackout_queue:
+            return
+        pending, self._blackout_queue = self._blackout_queue, []
+        for size_bytes, message_id, priority in pending:
+            self.send_message(size_bytes, message_id, priority)
 
     # ------------------------------------------------------------------
     def _on_packet(self, packet: Packet) -> None:

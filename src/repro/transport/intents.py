@@ -34,6 +34,17 @@ FLOW_PRIORITIES = {
     "background": 2,
 }
 
+#: Category → datagram blackout degradation (see
+#: :class:`repro.transport.datagram.DatagramSocket`). Real-time frames are
+#: stale by the time service resumes, so they drop; everything else is
+#: late-beats-never and buffers until a channel returns.
+BLACKOUT_POLICIES = {
+    "interactive": "buffer",
+    "realtime": "drop",
+    "bulk": "buffer",
+    "background": "buffer",
+}
+
 
 @dataclass
 class Intent:
@@ -84,7 +95,13 @@ def open_datagram(
     flow_id: Optional[int] = None,
     **kwargs,
 ) -> DatagramSocket:
-    """Open a datagram endpoint with the intent's tags applied."""
+    """Open a datagram endpoint with the intent's tags applied.
+
+    Besides the flow priority, the intent category picks the blackout
+    degradation mode (realtime drops stale frames, others buffer); pass
+    ``blackout=...`` explicitly to override.
+    """
+    kwargs.setdefault("blackout", BLACKOUT_POLICIES.get(intent.category, "drop"))
     return DatagramSocket(
         sim,
         device,

@@ -18,6 +18,8 @@ INITIAL_RTO = 1.0
 ALPHA = 1.0 / 8.0
 BETA = 1.0 / 4.0
 K = 4.0
+#: Exponential backoff ceiling (RFC 6298 allows capping the multiplier).
+MAX_BACKOFF = 64.0
 
 
 class RttEstimator:
@@ -33,6 +35,7 @@ class RttEstimator:
         self.latest_rtt: Optional[float] = None
         self.min_rtt: Optional[float] = None
         self.samples = 0
+        self.consecutive_timeouts = 0
         self._backoff = 1.0
 
     def on_sample(self, rtt: float) -> None:
@@ -42,6 +45,7 @@ class RttEstimator:
         self.latest_rtt = rtt
         self.samples += 1
         self._backoff = 1.0
+        self.consecutive_timeouts = 0
         if self.min_rtt is None or rtt < self.min_rtt:
             self.min_rtt = rtt
         if self.srtt is None:
@@ -54,7 +58,24 @@ class RttEstimator:
 
     def on_timeout(self) -> None:
         """Exponential backoff after a retransmission timeout fires."""
-        self._backoff = min(self._backoff * 2.0, 64.0)
+        self.consecutive_timeouts += 1
+        self._backoff = min(self._backoff * 2.0, MAX_BACKOFF)
+
+    def reset_backoff(self) -> None:
+        """Forget accumulated backoff without an RTT sample.
+
+        Fault-aware RTO interaction: timeouts fired into a channel outage
+        measure the outage, not the path — once the sender *knows* a channel
+        came back (a local administrative signal, not a guess), waiting out
+        a minute-scale backed-off timer would dominate time-to-recover.
+        """
+        self._backoff = 1.0
+        self.consecutive_timeouts = 0
+
+    @property
+    def backoff(self) -> float:
+        """Current backoff multiplier (1 when no timeout is outstanding)."""
+        return self._backoff
 
     @property
     def rto(self) -> float:

@@ -24,6 +24,7 @@ class TestRegistry:
             "ab-reseq",
             "ab-tsn",
             "baselines",
+            "faults",
             "sweep-urllc-bw",
             "sweep-threshold",
             "sweep-urllc-rtt",

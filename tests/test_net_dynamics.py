@@ -42,6 +42,39 @@ class TestChannelTimeline:
         net.run(until=20.0)
         assert len(done) == 1
 
+    def test_overlapping_outages_hold_channel_down(self):
+        # Regression: the first outage's scheduled end used to re-enable the
+        # channel while the second (overlapping) outage was still active.
+        net = self.net()
+        timeline = ChannelTimeline(net.sim, net.channel_named("urllc"))
+        timeline.outage(start=1.0, duration=2.0)  # down over [1, 3)
+        timeline.outage(start=2.0, duration=3.0)  # down over [2, 5)
+        net.run(until=3.5)
+        assert not net.channel_named("urllc").up  # still inside 2nd outage
+        net.run(until=5.5)
+        assert net.channel_named("urllc").up
+        assert net.channel_named("urllc").outage_count == 1  # one transition
+        assert net.channel_named("urllc").downtime_total == pytest.approx(4.0)
+
+    def test_identical_overlap_and_admin_compose(self):
+        net = self.net()
+        channel = net.channel_named("urllc")
+        timeline = ChannelTimeline(net.sim, channel)
+        # Two byte-identical outages: both ends must elapse before re-up.
+        timeline.outage(start=1.0, duration=1.0)
+        timeline.outage(start=1.0, duration=1.0)
+        net.run(until=1.5)
+        assert not channel.up
+        net.run(until=2.5)
+        assert channel.up
+        # Administrative down wins over fault-hold release.
+        channel.set_up(False)
+        channel.fail()
+        channel.restore()
+        assert not channel.up
+        channel.set_up(True)
+        assert channel.up
+
     def test_custom_action(self):
         net = self.net()
         timeline = ChannelTimeline(net.sim, net.channel_named("embb"))

@@ -205,8 +205,11 @@ class TestTransportProbes:
         net, obs = traced_net(specs=[fixed_embb_spec()], steering="single")
         pair = net.open_connection()
         pair.client.send_message(kb(20), message_id=1)
+        # Long enough for two RTO fires before recovery: blackout-suppressed
+        # timeouts probe too, but the channel-up re-probe ends the sequence,
+        # so a short outage would only show one.
         net.sim.schedule(0.01, lambda: net.channels[0].set_up(False))
-        net.sim.schedule(3.0, lambda: net.channels[0].set_up(True))
+        net.sim.schedule(5.0, lambda: net.channels[0].set_up(True))
         net.run(until=20.0)
         series = obs.transport_series[("client", pair.client.flow_id)]
         assert series.timeouts() >= 2
