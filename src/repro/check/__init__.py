@@ -1,0 +1,47 @@
+"""Runtime invariant checking and seeded chaos campaigns.
+
+Two halves, one goal — catching conservation-law bugs the moment they
+happen instead of three experiments later:
+
+* :class:`InvariantMonitor` (:mod:`repro.check.monitor`) taps a live
+  network's kernel/link/device/transport/fault seams and raises
+  :class:`~repro.errors.InvariantError` with a minimal structured report
+  the instant a law breaks.
+* The chaos campaign (:mod:`repro.check.chaos`, ``python -m repro chaos``)
+  hammers randomized scenario × fault-schedule × policy combinations with
+  the monitor armed, writes a self-contained JSON repro bundle per failure
+  (:mod:`repro.check.bundle`), and replays bundles deterministically.
+
+Quickstart::
+
+    from repro import HvcNetwork
+    from repro.check import InvariantMonitor
+
+    net = HvcNetwork([...])
+    monitor = InvariantMonitor(net).arm()   # before workloads
+    ...
+    net.run(until=10.0)
+    monitor.final_check()
+"""
+
+from repro.check.bundle import read_bundle, same_violation, write_bundle
+from repro.check.chaos import (
+    chaos_unit,
+    random_scenario,
+    replay_bundle,
+    run_campaign,
+    run_scenario,
+)
+from repro.check.monitor import InvariantMonitor
+
+__all__ = [
+    "InvariantMonitor",
+    "chaos_unit",
+    "random_scenario",
+    "read_bundle",
+    "replay_bundle",
+    "run_campaign",
+    "run_scenario",
+    "same_violation",
+    "write_bundle",
+]

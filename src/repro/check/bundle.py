@@ -1,0 +1,92 @@
+"""Self-contained repro bundles for chaos-campaign failures.
+
+When a chaos scenario trips an invariant, the campaign writes everything
+needed to re-execute that exact scenario into one JSON file: the scenario's
+primitive parameters (seed, topology preset, policies, workload, fault
+rows), the violation report the monitor raised, and enough campaign context
+to find where it came from. ``python -m repro chaos --replay <bundle>``
+re-runs the scenario in-process and checks that the same law fails on the
+same entity at the same simulated time — the determinism contract.
+
+Bundles are plain JSON on purpose: they can be attached to CI artifacts,
+diffed, and hand-edited while bisecting (e.g. deleting fault rows to
+minimize the failing schedule).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ScenarioError
+
+#: Format tag; bump when the bundle layout changes incompatibly.
+FORMAT = "repro-chaos-bundle/1"
+
+#: Simulated-time tolerance when matching a replayed violation against the
+#: recorded one (violation times are deterministic; the slack only absorbs
+#: JSON float round-tripping).
+TIME_TOLERANCE = 1e-6
+
+
+def write_bundle(
+    directory,
+    scenario: dict,
+    violation: dict,
+    campaign: Optional[dict] = None,
+) -> Path:
+    """Write one failure bundle; returns its path.
+
+    The filename encodes the scenario index and violated law so a directory
+    of bundles scans at a glance.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    law = str(violation.get("law", "unknown")).replace("/", "-")
+    index = scenario.get("index", 0)
+    path = directory / f"chaos-{index:05d}-{law}.json"
+    payload = {
+        "format": FORMAT,
+        "scenario": scenario,
+        "violation": violation,
+        "campaign": campaign or {},
+        "environment": {"python": platform.python_version()},
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def read_bundle(path) -> dict:
+    """Load and validate a bundle written by :func:`write_bundle`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ScenarioError(f"cannot read chaos bundle {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise ScenarioError(
+            f"{path} is not a chaos repro bundle (expected format {FORMAT!r})"
+        )
+    for key in ("scenario", "violation"):
+        if not isinstance(payload.get(key), dict):
+            raise ScenarioError(f"chaos bundle {path} is missing its {key!r} section")
+    return payload
+
+
+def same_violation(recorded: dict, replayed: dict) -> bool:
+    """Did the replay trip the same law, entity and simulated time?
+
+    Packet/flow identifiers inside the reports may differ between processes
+    (they come from module-level counters), so equality is defined on the
+    deterministic coordinates of the failure.
+    """
+    return (
+        recorded.get("law") == replayed.get("law")
+        and recorded.get("entity") == replayed.get("entity")
+        and abs(float(recorded.get("time", 0.0)) - float(replayed.get("time", 0.0)))
+        <= TIME_TOLERANCE
+    )

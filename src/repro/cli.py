@@ -10,6 +10,7 @@ Examples::
     python -m repro sweep-urllc-bw --cache-dir /tmp/repro-cache
     python -m repro fig1a --trace-dir /tmp/traces
     python -m repro obs summarize /tmp/traces/fig1a-cubic.jsonl
+    python -m repro chaos --quick --jobs 4
 
 Every experiment decomposes into independent simulation units executed
 through :class:`repro.runner.ParallelRunner`: ``--jobs N`` fans units out
@@ -126,6 +127,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Same pattern for the invariant-checked chaos campaign
+        # (`python -m repro chaos --quick`, `... chaos --replay bundle.json`).
+        from repro.check.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:

@@ -97,6 +97,11 @@ class HvcNetwork:
         #: The channel sampler :meth:`attach_obs` starts (a
         #: :class:`~repro.net.monitor.ChannelMonitor` feeding the registry).
         self.obs_monitor = None
+        #: Every flow opened through this network, in creation order. The
+        #: invariant monitor (:mod:`repro.check`) audits transport state
+        #: through these lists; closing a pair does not remove it.
+        self.connections: List[ConnectionPair] = []
+        self.datagrams: List[DatagramPair] = []
 
     def attach_obs(self, obs=None):
         """Wire this network into a :class:`repro.obs.Observability` context.
@@ -163,7 +168,9 @@ class HvcNetwork:
             on_message=on_server_message,
             **kwargs,
         )
-        return ConnectionPair(client=client, server=server)
+        pair = ConnectionPair(client=client, server=server)
+        self.connections.append(pair)
+        return pair
 
     def open_datagram(
         self,
@@ -187,7 +194,9 @@ class HvcNetwork:
             self.sim, self.server, fid, flow_priority=flow_priority,
             on_message=on_server_message, **kwargs,
         )
-        return DatagramPair(client=client, server=server)
+        pair = DatagramPair(client=client, server=server)
+        self.datagrams.append(pair)
+        return pair
 
     # ------------------------------------------------------------------
     # Execution & inspection

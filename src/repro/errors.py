@@ -62,3 +62,26 @@ class RunnerError(ReproError):
     cannot be hashed into a cache key, or a worker-process failure (the
     original exception is attached as ``__cause__``).
     """
+
+
+class UnitTimeoutError(RunnerError):
+    """Raised when a unit exceeds its per-unit wall-clock timeout.
+
+    The runner kills the worker pool that was executing the unit (a hung
+    simulation cannot be interrupted any other way), records the outcome,
+    and respawns the pool for the remaining units.
+    """
+
+
+class InvariantError(ReproError):
+    """Raised by :mod:`repro.check` when a runtime conservation law fails.
+
+    Carries a structured ``report`` dict alongside the rendered message:
+    simulation time, the violated law, the entity it guards, the counter
+    deltas that disagree, and the last few events the monitor observed —
+    enough to triage without re-running.
+    """
+
+    def __init__(self, message: str, report: dict = None) -> None:
+        super().__init__(message)
+        self.report = report if report is not None else {}

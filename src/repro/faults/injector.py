@@ -88,6 +88,10 @@ class FaultInjector:
         self.net = net
         self.schedule = schedule
         self.log: List[AppliedFault] = []
+        #: Faults applied but not yet reverted, in apply order. The invariant
+        #: monitor audits this against the channels' fault holds and the
+        #: links' delay/rate/loss overlays (apply/revert balance law).
+        self.active: List[Fault] = []
         self._armed = False
         if registry is None and getattr(net, "obs", None) is not None:
             registry = net.obs.registry
@@ -133,6 +137,7 @@ class FaultInjector:
     def _apply(self, fault: Fault, channel: Channel) -> None:
         self._record("apply", fault)
         self._count(fault)
+        self.active.append(fault)
         if fault.kind in ("outage", "blackout"):
             if fault.kind == "blackout":
                 for link in self._links(channel):
@@ -150,6 +155,7 @@ class FaultInjector:
 
     def _revert(self, fault: Fault, channel: Channel) -> None:
         self._record("revert", fault)
+        self.active.remove(fault)
         if fault.kind in ("outage", "blackout"):
             channel.restore()
         elif fault.kind == "loss_burst":

@@ -178,12 +178,18 @@ class FaultSchedule:
         rtt_spike_rate: float = 0.0,
         rtt_spike_mean: float = 1.0,
         rtt_spike_delay: float = 0.1,
+        blackout_rate: float = 0.0,
+        blackout_mean: float = 0.5,
+        capacity_rate: float = 0.0,
+        capacity_mean: float = 1.0,
+        capacity_factor: float = 0.2,
     ) -> "FaultSchedule":
         """Draw a Poisson fault process per channel, deterministically.
 
         ``*_rate`` are events per second; ``*_mean`` the mean of the
         exponential duration. The same ``seed`` always produces the same
-        schedule — random weather, reproducible runs.
+        schedule — random weather, reproducible runs. Blackout and capacity
+        processes default to off so existing callers' draws are unchanged.
         """
         if duration <= 0:
             raise ScenarioError(f"schedule duration must be positive, got {duration}")
@@ -194,6 +200,8 @@ class FaultSchedule:
                 (outage_rate, outage_mean, "outage", 0.0),
                 (loss_burst_rate, loss_burst_mean, "loss_burst", loss_burst_severity),
                 (rtt_spike_rate, rtt_spike_mean, "rtt_spike", rtt_spike_delay),
+                (blackout_rate, blackout_mean, "blackout", 0.0),
+                (capacity_rate, capacity_mean, "capacity", capacity_factor),
             ):
                 if rate <= 0:
                     continue

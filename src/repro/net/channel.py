@@ -138,6 +138,12 @@ class Channel:
         """Up iff administratively enabled *and* no fault holds it down."""
         return self._admin_up and self._down_refs == 0
 
+    @property
+    def fault_holds(self) -> int:
+        """Outstanding :meth:`fail` holds (the invariant monitor audits
+        this against the injector's set of active outage faults)."""
+        return self._down_refs
+
     def set_up(self, up: bool) -> None:
         """Administratively enable/disable both directions.
 

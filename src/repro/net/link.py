@@ -120,6 +120,16 @@ class Link:
         serving = self._serving.size_bytes if self._serving is not None else 0
         return self.queue.backlog_bytes + serving
 
+    @property
+    def pending_packets(self) -> int:
+        """Packets queued or in service (not yet transmitted).
+
+        The invariant monitor balances this against its enqueue/transmit
+        counters; packets already propagating are *not* included (they have
+        transmitted and are tracked by delivery/loss events).
+        """
+        return len(self.queue) + (1 if self._serving is not None else 0)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------

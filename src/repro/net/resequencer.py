@@ -24,6 +24,13 @@ DEFAULT_HOLD_TIMEOUT = 0.08
 #: Safety valve: flush if a flow accumulates this many held packets.
 MAX_HELD_PACKETS = 2048
 
+#: Debug fault: when True, :meth:`Resequencer._drain` releases the first
+#: drained packet twice. Exists purely so the invariant monitor's
+#: no-duplicate-release law can be demonstrated against a real violation
+#: (``python -m repro chaos --seed-bug reseq-double-release``); never set
+#: in production code paths.
+DEBUG_DOUBLE_RELEASE = False
+
 
 class Resequencer:
     """Per-flow in-order delivery with a hold timeout."""
@@ -103,14 +110,23 @@ class Resequencer:
         if self._expected.get(flow, 0) <= safe:
             self._flush_through(flow, safe)
 
+    @property
+    def pending_count(self) -> int:
+        """Packets currently held across every flow (audit hook)."""
+        return sum(len(held) for held in self._held.values())
+
     def _drain(self, flow: int) -> None:
         held = self._held.get(flow)
         if not held:
             return
         expected = self._expected.get(flow, 0)
+        first = True
         while expected in held:
             packet, _ = held.pop(expected)
             self.deliver(packet)
+            if first and DEBUG_DOUBLE_RELEASE:
+                self.deliver(packet)
+            first = False
             expected += 1
         self._expected[flow] = expected
         self._reschedule_flush(flow)

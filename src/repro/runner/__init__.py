@@ -23,7 +23,7 @@ Guarantees:
 """
 
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
-from repro.runner.parallel import ParallelRunner
+from repro.runner.parallel import ParallelRunner, UnitOutcome
 from repro.runner.units import RunUnit, execute_unit, probe_unit, resolve_fn
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "RunUnit",
+    "UnitOutcome",
     "default_cache_dir",
     "execute_unit",
     "probe_unit",

@@ -39,9 +39,17 @@ class ResultCache:
     """Pickle store keyed by unit content hashes.
 
     ``hits`` / ``misses`` count lookups since construction; ``stores`` counts
-    successful writes. All methods are best-effort: I/O failures degrade to
+    successful writes; ``corrupt`` counts blobs that failed verification and
+    were quarantined. All methods are best-effort: I/O failures degrade to
     cache misses (reads) or dropped entries (writes) rather than exceptions,
     because a cache must never make a correct run fail.
+
+    A blob that exists but fails verification (bad magic, digest mismatch,
+    unpicklable payload) is *quarantined* — renamed to ``<token>.corrupt``,
+    or unlinked if the rename fails — so the recomputed result can be stored
+    under the original name instead of colliding with the damaged file on
+    every subsequent run, and so the damaged bytes remain on disk for
+    post-mortem instead of silently re-reading as a miss forever.
     """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
@@ -49,6 +57,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def path_for(self, unit: RunUnit) -> Path:
         token = unit.cache_token()
@@ -58,18 +67,36 @@ class ResultCache:
     # Lookup / store
     # ------------------------------------------------------------------
     def get(self, unit: RunUnit) -> Tuple[bool, Any]:
-        """``(True, value)`` on a verified hit, else ``(False, None)``."""
+        """``(True, value)`` on a verified hit, else ``(False, None)``.
+
+        A blob that fails verification counts as a miss *and* is moved out
+        of the way (see class docstring) so it cannot shadow the slot.
+        """
+        path = self.path_for(unit)
         try:
-            blob = self.path_for(unit).read_bytes()
+            blob = path.read_bytes()
         except OSError:
             self.misses += 1
             return False, None
         value = _decode(blob)
         if value is _INVALID:
             self.misses += 1
+            self.corrupt += 1
+            self._quarantine(path)
             return False, None
         self.hits += 1
         return True, value
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Rename a damaged blob aside (or unlink it if the rename fails)."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, unit: RunUnit, value: Any) -> Optional[Path]:
         """Atomically persist ``value``; returns the path or ``None``."""

@@ -136,3 +136,55 @@ def execute_unit(unit: RunUnit) -> Any:
 def probe_unit(value: float = 0.0, seed: int = 0) -> Dict[str, float]:
     """Trivial deterministic unit used by tests and CI smoke runs."""
     return {"value": 2.0 * float(value) + seed, "events": 1}
+
+
+# ----------------------------------------------------------------------
+# Failure-mode probe units. These exist so the runner's resilience paths
+# (per-unit timeouts, BrokenProcessPool recovery, retries) can be exercised
+# by real worker processes in tests, not just by mocks. They must stay
+# module-level and importable, like every unit function.
+# ----------------------------------------------------------------------
+
+def error_unit(message: str = "probe failure", seed: int = 0) -> None:
+    """Always raises — the predictable 'unit with a bug'."""
+    raise ValueError(f"{message} (seed={seed})")
+
+
+def crash_unit(exit_code: int = 13, seed: int = 0) -> None:
+    """Kills the worker process outright, as a segfault or OOM kill would.
+
+    ``os._exit`` skips interpreter teardown, so the pool sees the process
+    vanish (BrokenProcessPool), not an exception.
+    """
+    import os
+
+    os._exit(exit_code)
+
+
+def sleep_unit(duration: float = 3600.0, seed: int = 0) -> Dict[str, float]:
+    """Sleeps ``duration`` seconds — the 'hung simulation' stand-in."""
+    import time
+
+    time.sleep(duration)
+    return {"slept": duration, "seed": seed}
+
+
+def flaky_unit(marker: str, fail_times: int = 1, seed: int = 0) -> Dict[str, int]:
+    """Fails its first ``fail_times`` executions, then succeeds.
+
+    ``marker`` names a scratch file used as a cross-process attempt counter
+    (worker processes share no memory), letting tests exercise the runner's
+    bounded-retry path with genuine process-pool executions.
+    """
+    from pathlib import Path
+
+    path = Path(marker)
+    try:
+        attempts = int(path.read_text())
+    except (OSError, ValueError):
+        attempts = 0
+    attempts += 1
+    path.write_text(str(attempts))
+    if attempts <= fail_times:
+        raise RuntimeError(f"flaky failure {attempts}/{fail_times} (seed={seed})")
+    return {"attempts": attempts, "seed": seed}

@@ -39,10 +39,23 @@ class Simulator:
         #: event count into the ``sim.events_processed`` counter afterwards
         #: (off the per-event hot path).
         self._obs = None
+        #: Optional per-event invariant hook ``fn(now, event_time)`` called
+        #: before the clock advances to each event (see :mod:`repro.check`).
+        #: ``None`` costs one branch per event in the dispatch loop.
+        self._invariant_hook: Optional[Callable[[float, float], None]] = None
 
     def attach_obs(self, obs) -> None:
         """Attach an observability context (see :mod:`repro.obs`)."""
         self._obs = obs
+
+    def attach_invariant_hook(self, hook: Optional[Callable[[float, float], None]]) -> None:
+        """Install (or clear, with ``None``) the per-event invariant hook.
+
+        The hook runs *before* ``now`` advances and may raise — an
+        :class:`~repro.errors.InvariantError` propagates out of :meth:`run`
+        with the clock still at the pre-event time.
+        """
+        self._invariant_hook = hook
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,12 +108,15 @@ class Simulator:
         # historical peek_time()+pop() pair, with the bound methods hoisted
         # out of the loop.
         pop_next = self._queue.pop_next
+        check = self._invariant_hook
         try:
             while not self._stop_requested:
                 event = pop_next(until)
                 if event is None:
                     drained = True
                     break
+                if check is not None:
+                    check(self.now, event.time)
                 self.now = event.time
                 event.callback(*event.args)
                 self.events_processed += 1

@@ -272,6 +272,35 @@ class Connection:
     def established(self) -> bool:
         return self._established
 
+    def audit_state(self) -> dict:
+        """Internal state snapshot for the invariant monitor.
+
+        Everything :mod:`repro.check` needs to assert the transport's
+        conservation laws without reaching into private fields: sequence
+        bounds, the flight-byte ledger and its recomputation from the
+        segment list, receive-side contiguity, and the CC/RTO envelope.
+        """
+        return {
+            "snd_una": self._snd_una,
+            "snd_nxt": self._snd_nxt,
+            "write_end": self._write_end,
+            "flight_bytes": self._flight_bytes,
+            "segment_flight": sum(
+                s.size for s in self._segments if not s.sacked and not s.lost
+            ),
+            "segments": [(s.seq, s.end_seq) for s in self._segments],
+            "retx_queued": len(self._retx_queue),
+            "rcv_nxt": self._rcv_nxt,
+            "ooo_ranges": list(self._ooo_ranges),
+            "cwnd_bytes": self.cc.cwnd_bytes,
+            "rto": self.rtt.rto,
+            "min_rto": self.rtt.min_rto,
+            "max_rto": self.rtt.max_rto,
+            "bytes_acked": self.stats.bytes_acked,
+            "bytes_sent": self.stats.bytes_sent,
+            "closed": self._closed,
+        }
+
     # ==================================================================
     # Handshake
     # ==================================================================

@@ -1,0 +1,148 @@
+"""Chaos-campaign tests: seeded determinism, bundles, and the triage loop.
+
+The campaign's contract has three legs. Scenario generation is a pure
+function of the seed — "chaos" happens inside the simulations, never in
+what the campaign decides to run. Clean code passes a campaign with zero
+violations. And a planted bug (``--seed-bug``) is caught, bundled, and the
+bundle replays to the *same* violation — law, entity, and simulated time —
+which is the property that makes a CI chaos failure triageable instead of
+a shrug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check import (
+    random_scenario,
+    read_bundle,
+    replay_bundle,
+    run_campaign,
+    run_scenario,
+    same_violation,
+    write_bundle,
+)
+from repro.check.chaos import PRESET_CHANNELS, channel_preset
+from repro.errors import ScenarioError
+
+
+def scenario(seed: int = 3, duration: float = 0.3, **overrides) -> dict:
+    drawn = random_scenario(random.Random(seed), index=0, duration=duration)
+    drawn.update(overrides)
+    return drawn
+
+
+class TestScenarioGeneration:
+    def test_same_seed_draws_identical_scenarios(self):
+        first = [random_scenario(random.Random(42), i) for i in range(10)]
+        second = [random_scenario(random.Random(42), i) for i in range(10)]
+        assert first == second
+
+    def test_scenarios_are_primitive_and_bundleable(self):
+        import json
+
+        drawn = scenario()
+        assert json.loads(json.dumps(drawn)) == drawn
+
+    def test_preset_names_match_materialized_specs(self):
+        for preset, names in PRESET_CHANNELS.items():
+            specs = channel_preset(preset)
+            assert tuple(spec.name for spec in specs) == tuple(names)
+
+    def test_unknown_preset_and_seed_bug_are_rejected(self):
+        with pytest.raises(ScenarioError):
+            channel_preset("carrier-pigeon")
+        with pytest.raises(ScenarioError):
+            random_scenario(random.Random(0), 0, seed_bug="nonexistent-bug")
+
+
+class TestCampaign:
+    def test_single_scenario_runs_clean(self):
+        result = run_scenario(scenario())
+        assert result["ok"] and result["checks"] > 0
+
+    def test_small_campaign_is_clean(self, tmp_path):
+        summary = run_campaign(
+            scenarios=6,
+            seed=0,
+            duration=0.3,
+            bundle_dir=tmp_path,
+            timeout=None,
+        )
+        assert summary["violations"] == 0
+        assert summary["errors"] == []
+        assert summary["clean"] == 6
+        assert summary["checks"] > 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_seeded_bug_is_caught_bundled_and_replayable(self, tmp_path):
+        summary = run_campaign(
+            scenarios=6,
+            seed=0,
+            duration=0.5,
+            bundle_dir=tmp_path,
+            seed_bug="reseq-double-release",
+            timeout=None,
+        )
+        assert summary["violations"] >= 1
+        assert len(summary["bundles"]) == summary["violations"]
+        payload = read_bundle(summary["bundles"][0])
+        assert payload["violation"]["law"] == "reseq-no-dup-release"
+        assert payload["scenario"]["seed_bug"] == "reseq-double-release"
+        replay = replay_bundle(summary["bundles"][0])
+        assert replay["reproduced"], (
+            f"recorded {replay['recorded']}, replayed {replay['replayed']}"
+        )
+
+
+class TestBundles:
+    def test_round_trip(self, tmp_path):
+        scn = scenario()
+        violation = {"law": "link-fifo", "entity": "embb:up", "time": 0.25}
+        path = write_bundle(tmp_path, scn, violation, campaign={"seed": 0})
+        assert path.name == "chaos-00000-link-fifo.json"
+        payload = read_bundle(path)
+        assert payload["scenario"] == scn
+        assert payload["violation"] == violation
+        assert payload["campaign"] == {"seed": 0}
+
+    def test_read_rejects_junk_and_foreign_json(self, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("not json at all {{{")
+        with pytest.raises(ScenarioError):
+            read_bundle(junk)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"format": "something-else/9"}')
+        with pytest.raises(ScenarioError):
+            read_bundle(foreign)
+        with pytest.raises(ScenarioError):
+            read_bundle(tmp_path / "missing.json")
+
+    def test_same_violation_matching(self):
+        recorded = {"law": "link-fifo", "entity": "embb:up", "time": 0.25}
+        assert same_violation(recorded, dict(recorded))
+        assert same_violation(recorded, {**recorded, "time": 0.25 + 5e-7})
+        assert not same_violation(recorded, {**recorded, "time": 0.26})
+        assert not same_violation(recorded, {**recorded, "law": "link-exactly-once"})
+        assert not same_violation(recorded, {**recorded, "entity": "urllc:up"})
+
+
+class TestCli:
+    def test_chaos_subcommand_dispatches_and_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "chaos", "--scenarios", "3", "--duration", "0.3",
+            "--timeout", "0", "--bundle-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 scenarios" in out and "0 violations" in out
+
+    def test_replay_of_missing_bundle_fails_cleanly(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(ScenarioError):
+            main(["chaos", "--replay", str(tmp_path / "nope.json")])

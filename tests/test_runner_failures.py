@@ -1,0 +1,200 @@
+"""Runner resilience tests: crashes, hangs, retries, checkpoint/resume.
+
+The acceptance bar from the robustness design: a sweep containing one
+crashing, one hanging, and one flaky-then-ok unit still returns a
+per-unit :class:`~repro.runner.UnitOutcome` for every unit, and a rerun
+against the same cache resumes from the checkpoint — only the units that
+never completed execute again. Every failure here is produced by a real
+worker process running a real probe unit, not by a mock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import ParallelRunner, ResultCache, RunUnit
+
+PROBE_FN = "repro.runner.units:probe_unit"
+ERROR_FN = "repro.runner.units:error_unit"
+CRASH_FN = "repro.runner.units:crash_unit"
+SLEEP_FN = "repro.runner.units:sleep_unit"
+FLAKY_FN = "repro.runner.units:flaky_unit"
+
+
+def probe(seed: int = 0) -> RunUnit:
+    return RunUnit.make("probe", PROBE_FN, seed=seed, value=float(seed))
+
+
+def interrupt_unit(marker: str, seed: int = 0) -> dict:
+    """First call raises KeyboardInterrupt (the user hit Ctrl-C mid-batch);
+    later calls succeed. Inline-only: resolved via the test module itself."""
+    from pathlib import Path
+
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("interrupted")
+        raise KeyboardInterrupt
+    return {"resumed": 1, "seed": seed}
+
+
+class TestOutcomeBasics:
+    def test_error_unit_records_traceback_siblings_unaffected(self):
+        runner = ParallelRunner(jobs=1)
+        units = [probe(1), RunUnit.make("probe", ERROR_FN), probe(2)]
+        outcomes = runner.run_outcomes(units)
+        assert [o.status for o in outcomes] == ["ok", "error", "ok"]
+        assert outcomes[0].value == {"value": 3.0, "events": 1}
+        assert "ValueError" in outcomes[1].error
+        assert "probe failure" in outcomes[1].error
+        with pytest.raises(RunnerError):
+            outcomes[1].raise_if_failed()
+        outcomes[0].raise_if_failed()  # no-op on ok
+
+    def test_flaky_unit_succeeds_within_retry_budget(self, tmp_path):
+        unit = RunUnit.make(
+            "probe", FLAKY_FN, marker=str(tmp_path / "flaky"), fail_times=1
+        )
+        runner = ParallelRunner(jobs=1, retries=2)
+        (outcome,) = runner.run_outcomes([unit])
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert runner.retried == 1
+
+    def test_flaky_unit_exhausts_retry_budget(self, tmp_path):
+        unit = RunUnit.make(
+            "probe", FLAKY_FN, marker=str(tmp_path / "flaky"), fail_times=5
+        )
+        runner = ParallelRunner(jobs=1)
+        (outcome,) = runner.run_outcomes([unit], retries=1)
+        assert outcome.status == "error"
+        assert outcome.attempts == 2
+        assert "flaky failure" in outcome.error
+
+
+class TestTimeouts:
+    def test_hung_unit_times_out_and_pool_is_killed(self):
+        unit = RunUnit.make("probe", SLEEP_FN, duration=30.0)
+        runner = ParallelRunner(jobs=1)
+        start = time.monotonic()
+        (outcome,) = runner.run_outcomes([unit], timeout=1.0)
+        elapsed = time.monotonic() - start
+        assert outcome.status == "timeout"
+        assert "1s" in outcome.error
+        assert runner.unit_timeouts == 1
+        assert elapsed < 15.0  # killed, not slept through
+
+    def test_sibling_of_timed_out_unit_still_completes(self):
+        units = [
+            RunUnit.make("probe", SLEEP_FN, duration=30.0),
+            probe(3),
+            probe(4),
+        ]
+        runner = ParallelRunner(jobs=2)
+        outcomes = runner.run_outcomes(units, timeout=2.0)
+        assert outcomes[0].status == "timeout"
+        assert outcomes[1].ok and outcomes[2].ok
+
+
+class TestWorkerDeath:
+    def test_crash_unit_is_attributed_and_siblings_rerun(self):
+        units = [probe(1), RunUnit.make("probe", CRASH_FN), probe(2)]
+        runner = ParallelRunner(jobs=2)
+        outcomes = runner.run_outcomes(units)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert outcomes[1].status == "error"
+        assert "worker process died" in outcomes[1].error
+        assert runner.pool_respawns >= 1
+
+    def test_repeated_crashes_exhaust_respawn_budget(self):
+        units = [RunUnit.make("probe", CRASH_FN, seed=s) for s in range(3)]
+        runner = ParallelRunner(jobs=2, max_pool_respawns=1)
+        outcomes = runner.run_outcomes(units)
+        assert all(o.status == "error" for o in outcomes)
+
+
+class TestStrictCancellation:
+    def test_first_failure_cancels_pending_units(self):
+        units = [
+            RunUnit.make("probe", ERROR_FN),
+            RunUnit.make("probe", SLEEP_FN, duration=6.0),
+            RunUnit.make("probe", SLEEP_FN, duration=6.0),
+        ]
+        runner = ParallelRunner(jobs=2)
+        start = time.monotonic()
+        with pytest.raises(RunnerError):
+            runner.run(units)
+        # The pending sleep was cancelled and the batch abandoned without
+        # waiting out the in-flight one.
+        assert time.monotonic() - start < 4.0
+
+
+class TestCheckpointResume:
+    def test_keyboard_interrupt_leaves_cache_consistent(self, tmp_path):
+        marker = str(tmp_path / "interrupt")
+        units = [
+            probe(1),
+            RunUnit.make(
+                "probe", "tests.test_runner_failures:interrupt_unit", marker=marker
+            ),
+            probe(2),
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        first = ParallelRunner(jobs=1, cache=cache)
+        with pytest.raises(KeyboardInterrupt):
+            first.run_outcomes(units)
+        # probe(1) finished before the interrupt and was checkpointed.
+        assert first.executed == 1
+
+        second = ParallelRunner(jobs=1, cache=cache)
+        outcomes = second.run_outcomes(units)
+        assert all(o.ok for o in outcomes)
+        assert [o.cached for o in outcomes] == [True, False, False]
+        assert second.cache_hits == 1 and second.executed == 2
+
+    def test_corrupt_cache_blob_is_quarantined_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = probe(9)
+        path = cache.put(unit, {"value": 42.0})
+        path.write_bytes(b"garbage, not a cache blob")
+        hit, value = cache.get(unit)
+        assert not hit and value is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").read_bytes().startswith(b"garbage")
+        # The slot is free again: a recompute stores and reads back cleanly.
+        runner = ParallelRunner(jobs=1, cache=cache)
+        (outcome,) = runner.run_outcomes([unit])
+        assert outcome.ok and not outcome.cached
+        hit, value = cache.get(unit)
+        assert hit and value == outcome.value
+
+    def test_mixed_sweep_outcomes_and_resume(self, tmp_path):
+        """The acceptance sweep: crash + hang + flaky + healthy units."""
+        units = [
+            probe(1),
+            RunUnit.make("probe", CRASH_FN),
+            RunUnit.make("probe", SLEEP_FN, duration=30.0),
+            RunUnit.make(
+                "probe", FLAKY_FN, marker=str(tmp_path / "flaky"), fail_times=1
+            ),
+            probe(2),
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        first = ParallelRunner(jobs=2, cache=cache, retries=1)
+        outcomes = first.run_outcomes(units, timeout=3.0)
+        assert [o.status for o in outcomes] == [
+            "ok", "error", "timeout", "ok", "ok",
+        ]
+        assert first.unit_timeouts >= 1
+
+        # Resume: completed units come from the checkpoint, only the crash
+        # and the hang execute again.
+        second = ParallelRunner(jobs=2, cache=cache, retries=1)
+        resumed = second.run_outcomes(units, timeout=2.0)
+        assert [o.cached for o in resumed] == [True, False, False, True, True]
+        assert second.cache_hits == 3
+        assert resumed[1].status == "error"
+        assert resumed[2].status == "timeout"
