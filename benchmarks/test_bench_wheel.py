@@ -1,0 +1,114 @@
+"""Microbenchmark: timer-wheel internals — insert cost, compaction, pool.
+
+Complements ``test_bench_kernel.py`` (which measures end-to-end queue
+churn): this one isolates the wheel's three claims and records them in
+``BENCH_wheel.json``:
+
+* near-horizon inserts are O(1) bucket appends (vs heap sift),
+* cancel-heavy churn keeps the pending set bounded via compaction,
+* transient events are served from the pool, not the allocator.
+"""
+
+import time
+
+from benchjson import record
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+
+INSERTS = 200_000
+
+
+def _noop() -> None:
+    return None
+
+
+def _insert_rate() -> float:
+    queue = EventQueue()
+    delays = (0.0001, 0.0007, 0.0023, 0.0051, 0.0102, 0.0407, 0.1833)
+    start = time.perf_counter()
+    for i in range(INSERTS):
+        queue.push(delays[i % 7], _noop)
+    elapsed = time.perf_counter() - start
+    return INSERTS / elapsed
+
+
+def _cancel_churn():
+    """The transport pacing pattern: arm two timers, cancel, re-arm."""
+    sim = Simulator()
+    state = {"pacing": None, "rto": None}
+
+    def fire():
+        if state["pacing"] is not None:
+            state["pacing"].cancel()
+        if state["rto"] is not None:
+            state["rto"].cancel()
+        state["pacing"] = sim.schedule(0.002, _noop)
+        state["rto"] = sim.schedule(0.25, _noop)
+        sim.schedule(0.0001, fire)
+
+    sim.schedule(0.0001, fire)
+    start = time.perf_counter()
+    sim.run(max_events=100_000)
+    elapsed = time.perf_counter() - start
+    queue = sim._queue
+    return {
+        "events_per_second": round(sim.events_processed / elapsed, 1),
+        "retained_entries": queue.entry_count(),
+        "dead_entries": queue.dead_events,
+        "compactions": queue.compactions,
+    }
+
+
+def _pool_hit_rate():
+    """Transient self-rescheduling churn: the pool should serve ~100%."""
+    sim = Simulator()
+    state = {"fires": 0}
+
+    def fire():
+        state["fires"] += 1
+        if state["fires"] < 50_000:
+            sim.schedule_transient(0.0003, fire)
+
+    sim.schedule_transient(0.0003, fire)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    pool = sim._queue.pool
+    total = pool.created + pool.reused
+    return {
+        "events_per_second": round(sim.events_processed / elapsed, 1),
+        "pool_created": pool.created,
+        "pool_reused": pool.reused,
+        "pool_hit_rate": round(pool.reused / total, 4) if total else 0.0,
+    }
+
+
+def test_bench_wheel(benchmark):
+    insert_eps = benchmark.pedantic(
+        lambda: max(_insert_rate() for _ in range(3)), rounds=1, iterations=1
+    )
+    cancel = _cancel_churn()
+    pool = _pool_hit_rate()
+
+    record(
+        "wheel",
+        0.0,
+        extra={
+            "insert_events_per_second": round(insert_eps, 1),
+            "cancel_churn": cancel,
+            "transient_churn": pool,
+        },
+    )
+    print()
+    print(f"  near-horizon insert : {insert_eps:12.0f} pushes/s")
+    print(f"  cancel churn        : {cancel['events_per_second']:12.0f} events/s  "
+          f"retained={cancel['retained_entries']} "
+          f"compactions={cancel['compactions']}")
+    print(f"  transient churn     : {pool['events_per_second']:12.0f} events/s  "
+          f"pool_hit={pool['pool_hit_rate']:.1%}")
+    # Compaction must bound the pending set: without it this workload
+    # retains ~2500 cancelled RTO corpses (0.25s deadline / 0.1ms churn).
+    assert cancel["retained_entries"] < 1000, cancel
+    assert cancel["compactions"] > 0, cancel
+    # Steady-state transient churn runs on recycled events.
+    assert pool["pool_hit_rate"] > 0.99, pool

@@ -1,0 +1,36 @@
+"""Version compatibility shims.
+
+``hot_dataclass`` is :func:`dataclasses.dataclass` with ``slots=True``
+on Python 3.10+ and a plain dataclass on 3.9, where the keyword does not
+exist. Use it for per-packet / per-ACK record types on the hot path:
+slotted instances skip the per-object ``__dict__`` (smaller, faster
+attribute access) without giving up dataclass ergonomics.
+
+Code must not rely on slotted behaviour for correctness — on 3.9 the
+classes silently fall back to dict-backed instances.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+HAS_DATACLASS_SLOTS = sys.version_info >= (3, 10)
+
+if HAS_DATACLASS_SLOTS:
+
+    def hot_dataclass(cls=None, /, **kwargs):
+        """``@dataclass(slots=True)`` where supported, plain otherwise."""
+        kwargs.setdefault("slots", True)
+        if cls is None:
+            return dataclass(**kwargs)
+        return dataclass(**kwargs)(cls)
+
+else:  # pragma: no cover - exercised only on Python < 3.10
+
+    def hot_dataclass(cls=None, /, **kwargs):
+        """``@dataclass(slots=True)`` where supported, plain otherwise."""
+        kwargs.pop("slots", None)
+        if cls is None:
+            return dataclass(**kwargs)
+        return dataclass(**kwargs)(cls)

@@ -1,0 +1,37 @@
+"""Benchmark trajectory harness: ``python -m repro bench run|compare``.
+
+The harness executes a small set of in-process workloads (the kernel
+microbench churn, a cancel-heavy pacing pattern, and the fig1a macro
+simulation), normalizes their events/s against a machine-calibration
+loop, and appends the results to the committed
+``benchmarks/TRAJECTORY.json``. ``bench compare`` re-runs the workloads
+(or compares two stored entries) and exits nonzero when any workload's
+*normalized* events/s regressed more than ``--max-regress`` percent
+against the stored baseline — the CI gate that keeps the event kernel's
+performance trajectory monotone.
+
+See ``docs/PERFORMANCE.md`` for how to run and read the output.
+"""
+
+from repro.bench.trajectory import (
+    ComparisonRow,
+    append_entry,
+    compare_entries,
+    default_trajectory_path,
+    load_trajectory,
+    save_trajectory,
+)
+from repro.bench.workloads import WORKLOADS, calibrate, run_workload, run_workloads
+
+__all__ = [
+    "ComparisonRow",
+    "WORKLOADS",
+    "append_entry",
+    "calibrate",
+    "compare_entries",
+    "default_trajectory_path",
+    "load_trajectory",
+    "run_workload",
+    "run_workloads",
+    "save_trajectory",
+]

@@ -1,0 +1,184 @@
+"""``python -m repro bench run|compare`` — the trajectory harness CLI.
+
+``run`` executes the benchmark workloads and appends a labelled entry to
+``benchmarks/TRAJECTORY.json``. ``compare`` measures the workloads again
+(or pits two stored entries against each other with ``--current``) and
+exits 1 when any workload's normalized events/s fell more than
+``--max-regress`` percent below the baseline entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.trajectory import (
+    append_entry,
+    compare_entries,
+    default_trajectory_path,
+    find_entry,
+    load_trajectory,
+    save_trajectory,
+)
+from repro.bench.workloads import WORKLOADS, calibrate, run_workloads
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark trajectory harness (see docs/PERFORMANCE.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="measure workloads and append a trajectory entry")
+    compare = sub.add_parser("compare", help="gate current performance against a baseline entry")
+
+    for p in (run, compare):
+        p.add_argument("--quick", action="store_true", help="reduced-scale workloads")
+        p.add_argument(
+            "--workloads",
+            default=None,
+            metavar="A,B",
+            help=f"subset to run (default: all of {','.join(sorted(WORKLOADS))})",
+        )
+        p.add_argument(
+            "--trajectory",
+            default=None,
+            metavar="PATH",
+            help="trajectory file (default: benchmarks/TRAJECTORY.json or $REPRO_TRAJECTORY)",
+        )
+
+    run.add_argument("--label", default="run", help="entry label (e.g. pre-pr, post-pr)")
+    run.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print the measurements without touching the trajectory file",
+    )
+
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        metavar="LABEL",
+        help="baseline entry label (default: last entry in the file)",
+    )
+    compare.add_argument(
+        "--current",
+        default=None,
+        metavar="LABEL",
+        help="compare a stored entry instead of re-measuring now",
+    )
+    compare.add_argument(
+        "--max-regress",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when normalized events/s drops more than PCT%% (default: 10)",
+    )
+    return parser
+
+
+def _selected(args: argparse.Namespace) -> Optional[List[str]]:
+    if args.workloads is None:
+        return None
+    names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    for name in names:
+        if name not in WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}"
+            )
+    return names
+
+
+def _measure(args: argparse.Namespace):
+    names = _selected(args)
+    # Calibrate before AND after the workloads and keep the max: workload
+    # timing is best-of-N (peak machine speed), so the divisor must be the
+    # peak too — a single calibration snapshot taken during a load spike
+    # makes every workload look artificially fast (and vice versa).
+    calib = calibrate()
+    results = run_workloads(names, quick=args.quick)
+    calib = max(calib, calibrate())
+    return results, calib
+
+
+def _print_results(results, calib) -> None:
+    print(f"calibration: {calib:,.0f} ops/s")
+    for name in sorted(results):
+        rec = results[name]
+        eps = rec.get("events_per_second")
+        extras = [
+            f"{key}={rec[key]}"
+            for key in ("alloc_peak_kb", "max_queue_entries")
+            if key in rec
+        ]
+        print(
+            f"  {name:<10} {rec['events']:>9} events in {rec['wall_seconds']:8.3f}s"
+            f" = {eps:>12,.0f} ev/s  {' '.join(extras)}"
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    results, calib = _measure(args)
+    _print_results(results, calib)
+    if args.no_append:
+        return 0
+    path = Path(args.trajectory) if args.trajectory else default_trajectory_path()
+    trajectory = load_trajectory(path)
+    append_entry(trajectory, args.label, results, calib, quick=args.quick)
+    save_trajectory(trajectory, path)
+    print(f"appended entry {args.label!r} to {path} ({len(trajectory['entries'])} entries)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    path = Path(args.trajectory) if args.trajectory else default_trajectory_path()
+    trajectory = load_trajectory(path)
+    try:
+        baseline = find_entry(trajectory, args.baseline)
+    except LookupError as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    if args.current is not None:
+        try:
+            current = find_entry(trajectory, args.current)
+        except LookupError as exc:
+            print(f"bench compare: {exc}", file=sys.stderr)
+            return 2
+    else:
+        results, calib = _measure(args)
+        current = {
+            "label": "(measured now)",
+            "calibration_ops_per_second": calib,
+            "results": results,
+        }
+    rows = compare_entries(baseline, current, max_regress_pct=args.max_regress)
+    if not rows:
+        print("bench compare: no comparable workloads between entries", file=sys.stderr)
+        return 2
+    print(
+        f"baseline {baseline['label']!r} vs current {current['label']!r} "
+        f"(gate: -{args.max_regress:g}% normalized)"
+    )
+    for row in rows:
+        print(row.render())
+    regressed = [row for row in rows if row.regressed]
+    if regressed:
+        names = ", ".join(row.name for row in regressed)
+        print(f"FAIL: regression beyond {args.max_regress:g}% in: {names}")
+        return 1
+    print("ok: no workload regressed beyond the gate")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro bench`
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""The committed benchmark trajectory file and the regression gate.
+
+``benchmarks/TRAJECTORY.json`` is an append-only series of entries::
+
+    {"version": 1,
+     "entries": [{"label": "pre-pr", "timestamp": ..., "commit": ...,
+                  "quick": false, "calibration_ops_per_second": ...,
+                  "results": {"kernel": {...}, "cancel": {...}, ...}}]}
+
+Each entry stores raw events/s *and* the calibration ops/s measured on
+the same machine at the same moment; :func:`compare_entries` gates on
+the calibration-normalized ratio so a slower CI box does not read as a
+kernel regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Environment override for the trajectory file location.
+TRAJECTORY_ENV = "REPRO_TRAJECTORY"
+
+#: Workload keys compared by the regression gate (must expose
+#: ``events_per_second``).
+GATED_METRIC = "events_per_second"
+
+
+def default_trajectory_path() -> Path:
+    override = os.environ.get(TRAJECTORY_ENV)
+    if override:
+        return Path(override)
+    # src/repro/bench/trajectory.py -> repo root / benchmarks
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "TRAJECTORY.json"
+
+
+def load_trajectory(path: Optional[Path] = None) -> Dict[str, Any]:
+    path = path or default_trajectory_path()
+    if not Path(path).exists():
+        return {"version": 1, "entries": []}
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a trajectory file (missing 'entries')")
+    return data
+
+
+def save_trajectory(trajectory: Dict[str, Any], path: Optional[Path] = None) -> Path:
+    path = Path(path or default_trajectory_path())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parents[3],
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def append_entry(
+    trajectory: Dict[str, Any],
+    label: str,
+    results: Dict[str, Dict[str, Any]],
+    calibration_ops_per_second: float,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """Append one measurement entry and return it."""
+    entry = {
+        "label": label,
+        "timestamp": round(time.time(), 1),
+        "commit": _git_commit(),
+        "quick": quick,
+        "calibration_ops_per_second": round(calibration_ops_per_second, 1),
+        "results": results,
+    }
+    trajectory.setdefault("entries", []).append(entry)
+    return entry
+
+
+def find_entry(trajectory: Dict[str, Any], label: Optional[str]) -> Dict[str, Any]:
+    """Entry by label, or the last entry when ``label`` is ``None``."""
+    entries = trajectory.get("entries", [])
+    if not entries:
+        raise LookupError("trajectory has no entries")
+    if label is None:
+        return entries[-1]
+    for entry in reversed(entries):
+        if entry.get("label") == label:
+            return entry
+    raise LookupError(f"no trajectory entry labelled {label!r}")
+
+
+@dataclass
+class ComparisonRow:
+    """One workload's baseline-vs-current verdict."""
+
+    name: str
+    base_eps: float
+    cur_eps: float
+    base_norm: float
+    cur_norm: float
+    delta_pct: float
+    regressed: bool
+
+    def render(self) -> str:
+        flag = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"  {self.name:<10} {self.base_eps:>12.0f} -> {self.cur_eps:>12.0f} ev/s"
+            f"  normalized {self.delta_pct:+7.2f}%  {flag}"
+        )
+
+
+def _normalized(entry: Dict[str, Any], name: str) -> Optional[float]:
+    result = entry.get("results", {}).get(name)
+    if not result:
+        return None
+    eps = result.get(GATED_METRIC)
+    calib = entry.get("calibration_ops_per_second")
+    if eps is None or not calib:
+        return None
+    return eps / calib
+
+
+def compare_entries(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    max_regress_pct: float = 10.0,
+) -> List[ComparisonRow]:
+    """Compare every workload present in both entries.
+
+    A workload counts as regressed when its calibration-normalized
+    events/s dropped more than ``max_regress_pct`` percent below the
+    baseline. Workloads missing from either side are skipped — the gate
+    only ever compares like with like.
+    """
+    rows: List[ComparisonRow] = []
+    for name in sorted(baseline.get("results", {})):
+        base_norm = _normalized(baseline, name)
+        cur_norm = _normalized(current, name)
+        if base_norm is None or cur_norm is None or base_norm <= 0:
+            continue
+        delta_pct = (cur_norm / base_norm - 1.0) * 100.0
+        rows.append(
+            ComparisonRow(
+                name=name,
+                base_eps=baseline["results"][name][GATED_METRIC],
+                cur_eps=current["results"][name][GATED_METRIC],
+                base_norm=base_norm,
+                cur_norm=cur_norm,
+                delta_pct=delta_pct,
+                regressed=delta_pct < -max_regress_pct,
+            )
+        )
+    return rows

@@ -1,0 +1,234 @@
+"""The benchmark workloads the trajectory harness executes.
+
+Each workload is a deterministic, self-contained function that exercises
+one hot path of the simulator and returns a normalized record::
+
+    {"events": int, "wall_seconds": float, "events_per_second": float,
+     "alloc_peak_kb": float, ...}
+
+Timing and allocation are measured in *separate* passes — ``tracemalloc``
+roughly doubles the cost of allocation-heavy code, so folding it into the
+timed pass would understate events/s by a machine-dependent factor.
+
+``calibrate()`` measures a fixed pure-Python loop and returns its ops/s;
+dividing a workload's events/s by the calibration ops/s gives a roughly
+machine-independent number, which is what ``bench compare`` gates on (the
+committed baseline may have been recorded on different hardware than the
+CI box re-checking it).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+def calibrate(rounds: int = 3, loop: int = 1_000_000) -> float:
+    """Ops/s of a fixed arithmetic loop (best of ``rounds``)."""
+    best = 0.0
+    for _ in range(rounds):
+        acc = 0
+        start = time.perf_counter()
+        for i in range(loop):
+            acc += i & 7
+        elapsed = time.perf_counter() - start
+        assert acc  # keep the loop un-optimizable
+        best = max(best, loop / elapsed)
+    return best
+
+
+def _noop() -> None:
+    return None
+
+
+#: Timed passes per workload; the best (lowest-wall) pass is reported.
+#: The workloads are deterministic, so repeated passes measure the same
+#: work — the minimum filters out scheduler noise on busy machines.
+TIMING_ROUNDS = 3
+
+#: The macro (fig1a) workload gets more, shorter rounds: its wall time per
+#: round is the longest, so a single load burst can poison every pass of a
+#: short best-of — more rounds mean more chances to land in a quiet window.
+MACRO_TIMING_ROUNDS = 5
+
+
+def _timed_best(run: Callable[[], Dict[str, Any]], rounds: int = TIMING_ROUNDS):
+    """Run ``run`` ``rounds`` times; return (last output, best wall time)."""
+    best = float("inf")
+    out: Dict[str, Any] = {}
+    for _ in range(rounds):
+        start = time.perf_counter()
+        out = run()
+        wall = time.perf_counter() - start
+        if wall < best:
+            best = wall
+    return out, best
+
+
+class _ChurnTimer:
+    """A self-rescheduling timer: the canonical kernel event pattern.
+
+    Every fifth firing also schedules-then-cancels a decoy event so the
+    queue carries a realistic fraction of dead entries (pacing timers,
+    RTO re-arms).
+    """
+
+    __slots__ = ("sim", "delays", "index")
+
+    def __init__(self, sim, delays, index) -> None:
+        self.sim = sim
+        self.delays = delays
+        self.index = index
+
+    def fire(self) -> None:
+        sim = self.sim
+        index = self.index = self.index + 1
+        delay = self.delays[index % 7]
+        if index % 5 == 0:
+            sim.cancel(sim.schedule(delay * 3.0, _noop))
+        sim.schedule(delay, self.fire)
+
+
+def _run_kernel_churn(total_events: int) -> Dict[str, Any]:
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    delays = (0.0001, 0.0004, 0.0011, 0.0002, 0.0031, 0.0007, 0.0017)
+    for i in range(64):
+        timer = _ChurnTimer(sim, delays, i)
+        sim.schedule(delays[i % 7] * (1 + i % 3), timer.fire)
+    sim.run(max_events=total_events)
+    return {"events": sim.events_processed}
+
+
+def workload_kernel(quick: bool = False) -> Dict[str, Any]:
+    """Kernel schedule/dispatch churn through ``Simulator.run``."""
+    total = 40_000 if quick else 300_000
+    out, wall = _timed_best(lambda: _run_kernel_churn(total))
+    record = _finalize(out["events"], wall)
+    record.update(_alloc_pass(lambda: _run_kernel_churn(total)))
+    return record
+
+
+class _PacingChurn:
+    """Cancel-heavy pacing pattern: every send re-arms two timers.
+
+    Each driver firing cancels the previous pacing and RTO timers and
+    schedules fresh ones further out — the transport's steady state. The
+    cancelled events are dead weight the queue must not retain forever.
+    """
+
+    __slots__ = ("sim", "pacing", "rto", "fires")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.pacing = None
+        self.rto = None
+        self.fires = 0
+
+    def fire(self) -> None:
+        sim = self.sim
+        self.fires += 1
+        if self.pacing is not None:
+            sim.cancel(self.pacing)
+        if self.rto is not None:
+            sim.cancel(self.rto)
+        self.pacing = sim.schedule(0.002, _noop)
+        self.rto = sim.schedule(0.25, _noop)
+        sim.schedule(0.0001, self.fire)
+
+
+def _run_cancel_churn(total_events: int) -> Dict[str, Any]:
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    driver = _PacingChurn(sim)
+    sim.schedule(0.0001, driver.fire)
+    max_entries = 0
+    step = max(1, total_events // 64)
+    remaining = total_events
+    while remaining > 0:
+        sim.run(max_events=min(step, remaining))
+        remaining -= step
+        max_entries = max(max_entries, _queue_entries(sim))
+    return {"events": sim.events_processed, "max_queue_entries": max_entries}
+
+
+def _queue_entries(sim) -> int:
+    """Total entries (live + dead) physically held by the event queue."""
+    queue = sim._queue
+    total = 0
+    for attr in ("_heap", "_overflow"):
+        entries = getattr(queue, attr, None)
+        if entries is not None:
+            total += len(entries)
+    wheel = getattr(queue, "_wheel", None)
+    if wheel is not None:
+        total += wheel.entry_count()
+    return total
+
+
+def workload_cancel(quick: bool = False) -> Dict[str, Any]:
+    """Cancel-heavy pacing workload; also reports retained queue entries."""
+    total = 30_000 if quick else 200_000
+    out, wall = _timed_best(lambda: _run_cancel_churn(total))
+    record = _finalize(out["events"], wall)
+    record["max_queue_entries"] = out["max_queue_entries"]
+    record.update(_alloc_pass(lambda: _run_cancel_churn(total)))
+    return record
+
+
+def workload_fig1a(quick: bool = False) -> Dict[str, Any]:
+    """Macro benchmark: one CUBIC bulk flow from the Fig. 1a sweep."""
+    from repro.experiments.fig1 import run_single_cca
+
+    duration = 0.6 if quick else 1.2
+    out, wall = _timed_best(
+        lambda: {"events": run_single_cca("cubic", duration=duration).net.sim.events_processed},
+        rounds=MACRO_TIMING_ROUNDS,
+    )
+    record = _finalize(out["events"], wall)
+    record.update(
+        _alloc_pass(lambda: run_single_cca("cubic", duration=duration))
+    )
+    return record
+
+
+def _finalize(events: int, wall: float) -> Dict[str, Any]:
+    return {
+        "events": events,
+        "wall_seconds": round(wall, 6),
+        "events_per_second": round(events / wall, 1) if wall > 0 else None,
+    }
+
+
+def _alloc_pass(run: Callable[[], Any]) -> Dict[str, Any]:
+    """Re-run ``run`` under tracemalloc and report the allocation peak."""
+    tracemalloc.start()
+    try:
+        run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {"alloc_peak_kb": round(peak / 1024.0, 1)}
+
+
+WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
+    "kernel": workload_kernel,
+    "cancel": workload_cancel,
+    "fig1a": workload_fig1a,
+}
+
+
+def run_workload(name: str, quick: bool = False) -> Dict[str, Any]:
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}")
+    return WORKLOADS[name](quick)
+
+
+def run_workloads(
+    names: Optional[Iterable[str]] = None, quick: bool = False
+) -> Dict[str, Dict[str, Any]]:
+    selected: List[str] = list(names) if names is not None else list(WORKLOADS)
+    return {name: run_workload(name, quick) for name in selected}

@@ -133,6 +133,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.check.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # Benchmark trajectory harness (`python -m repro bench run|compare`).
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:

@@ -193,11 +193,13 @@ class Link:
         rate = self.current_rate()
         if rate <= 0:
             # Trace outage: re-check shortly; the packet stays in service.
-            self.sim.schedule(OUTAGE_POLL_INTERVAL, self._begin_serialization, packet)
+            self.sim.schedule_transient(OUTAGE_POLL_INTERVAL, self._begin_serialization, packet)
             return
         tx_time = transmission_time(packet.size_bytes, rate)
         self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._finish_serialization, packet)
+        # Serialization/delivery events are fire-and-forget: nobody holds
+        # or cancels them, so they ride the event pool (transient).
+        self.sim.schedule_transient(tx_time, self._finish_serialization, packet)
 
     def _finish_serialization(self, packet: Packet) -> None:
         obs = self.obs
@@ -216,7 +218,7 @@ class Link:
             if arrival <= self._last_delivery_time:
                 arrival = self._last_delivery_time + 1e-9
             self._last_delivery_time = arrival
-            self.sim.schedule_at(arrival, self._deliver, packet)
+            self.sim.schedule_at_transient(arrival, self._deliver, packet)
         self._start_next()
 
     def _deliver(self, packet: Packet) -> None:

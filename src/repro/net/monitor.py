@@ -15,6 +15,8 @@ these exact series from an exported trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro._compat import hot_dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.net.channel import Channel
@@ -22,7 +24,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer
 
 
-@dataclass
+@hot_dataclass
 class ChannelSample:
     """One instantaneous observation of one channel."""
 

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Optional
 
+from repro._compat import hot_dataclass
 from repro.units import DEFAULT_HEADER_BYTES
 
 _packet_ids = itertools.count()
@@ -43,7 +44,7 @@ class PacketType(enum.Enum):
         return self in (PacketType.ACK, PacketType.SYN, PacketType.FIN, PacketType.PROBE)
 
 
-@dataclass
+@hot_dataclass
 class Packet:
     """A simulated packet.
 

@@ -17,10 +17,12 @@ matter how they were created.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro._compat import hot_dataclass
 from typing import List, Optional
 
 
-@dataclass
+@hot_dataclass
 class TransportSample:
     """One snapshot of a connection's (or subflow's) control state."""
 

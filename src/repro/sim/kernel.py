@@ -74,6 +74,47 @@ class Simulator:
             )
         return self._queue.push(time, callback, args)
 
+    def schedule_transient(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule a fire-and-forget callback whose Event is pool-recycled.
+
+        The returned event object is returned to the event pool right
+        after its callback runs; the caller MUST NOT retain the reference
+        or cancel it (see the recycle contract in ``docs/PERFORMANCE.md``).
+        Use for high-volume per-packet events nobody ever cancels — link
+        serialization completions, deliveries.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args, transient=True)
+
+    def schedule_at_transient(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Absolute-time variant of :meth:`schedule_transient`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, current time is {self.now:.6f}"
+            )
+        return self._queue.push(time, callback, args, transient=True)
+
+    def reschedule(
+        self, event: Optional[Event], delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Cancel ``event`` (if still pending) and arm a replacement timer.
+
+        The cancel-or-reschedule idiom every transport timer uses —
+        ``conn._rto_event = sim.reschedule(conn._rto_event, rto, fire)`` —
+        with the cancel bookkeeping in one place. ``event`` may be
+        ``None`` or already fired/cancelled; both are no-ops.
+        """
+        if event is not None and not event.cancelled:
+            event.cancel()
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event. Safe to call more than once."""
         event.cancel()
@@ -104,10 +145,14 @@ class Simulator:
         self._stop_requested = False
         processed_this_run = 0
         drained = False
-        # Hot path: one fused heap sweep per event (pop_next) instead of the
-        # historical peek_time()+pop() pair, with the bound methods hoisted
-        # out of the loop.
+        # Hot path: one fused queue sweep per event (pop_next), with the
+        # bound methods hoisted out of the loop. Transient events (link
+        # serializations, deliveries) go straight back to the pool after
+        # their callback — their schedulers promised not to retain them.
         pop_next = self._queue.pop_next
+        pool = self._queue.pool
+        free = pool._free
+        max_free = pool.max_free
         check = self._invariant_hook
         try:
             while not self._stop_requested:
@@ -119,6 +164,14 @@ class Simulator:
                     check(self.now, event.time)
                 self.now = event.time
                 event.callback(*event.args)
+                if event.transient and len(free) < max_free:
+                    # Inlined EventPool.release: per-event call overhead
+                    # on the dispatch hot path is worth avoiding.
+                    event.callback = None
+                    event.args = ()
+                    event._queue = None
+                    free.append(event)
+                    pool.released += 1
                 self.events_processed += 1
                 processed_this_run += 1
                 if max_events is not None and processed_this_run >= max_events:

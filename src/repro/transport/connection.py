@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro._compat import hot_dataclass
 from repro.errors import TransportError
 from repro.net.node import Device
 from repro.net.packet import Packet, PacketType
@@ -41,7 +42,7 @@ SACK_REORDER_BYTES_FACTOR = 3
 MAX_SACK_RANGES = 3
 
 
-@dataclass
+@hot_dataclass
 class Segment:
     """Sender-side record of one transmitted segment."""
 
@@ -69,7 +70,7 @@ class Segment:
         return self.end_seq - self.seq
 
 
-@dataclass
+@hot_dataclass
 class OutgoingMessage:
     """One application message queued on the send side."""
 
@@ -85,7 +86,7 @@ class OutgoingMessage:
         return self.end - self.start
 
 
-@dataclass
+@hot_dataclass
 class MessageReceipt:
     """Receiver-side notification for one completed message."""
 
@@ -95,7 +96,7 @@ class MessageReceipt:
     completed_at: float
 
 
-@dataclass
+@hot_dataclass
 class RttRecord:
     """One RTT measurement, kept for analysis (Fig. 1b)."""
 
@@ -443,11 +444,11 @@ class Connection:
     # Retransmission timer
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
+        if self._snd_una < self._snd_nxt:
+            self._rto_event = self.sim.reschedule(self._rto_event, self.rtt.rto, self._on_rto)
+        elif self._rto_event is not None:
             self.sim.cancel(self._rto_event)
             self._rto_event = None
-        if self._snd_una < self._snd_nxt:
-            self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
 
     def _on_rto(self) -> None:
         self._rto_event = None
@@ -670,50 +671,91 @@ class Connection:
             self._rto_event = None
         self._try_send()
 
+    # ``_segments`` is kept sorted by ``seq`` (equivalently ``end_seq``):
+    # new segments carve contiguous ranges off the send stream and are
+    # appended in order, and nothing ever reorders the list. The three
+    # per-ACK scans below lean on that — each is O(affected segments)
+    # instead of O(outstanding window), which is where fig1a-scale runs
+    # spend most of their transport time.
+
     def _ack_segments_below(self, ack_seq: int) -> Optional[Segment]:
-        """Drop cumulatively acked segments; return the newest RTT-eligible."""
+        """Drop cumulatively acked segments; return the newest RTT-eligible.
+
+        Cumulatively acked segments form a prefix of the sorted list, so
+        this walks only that prefix and deletes it in one slice.
+        """
         newest: Optional[Segment] = None
-        kept: List[Segment] = []
-        for segment in self._segments:
-            if segment.end_seq <= ack_seq:
-                if not segment.sacked and not segment.lost:
-                    self._flight_bytes -= segment.size
-                if not segment.retransmitted:
-                    newest = segment
-            else:
-                kept.append(segment)
-        self._segments = kept
+        segments = self._segments
+        idx = 0
+        for segment in segments:
+            if segment.end_seq > ack_seq:
+                break
+            idx += 1
+            if not segment.sacked and not segment.lost:
+                self._flight_bytes -= segment.size
+            if not segment.retransmitted:
+                newest = segment
+        if idx:
+            del segments[:idx]
         return newest
 
+    def _bisect_seq(self, seq: int) -> int:
+        """Index of the first segment with ``segment.seq >= seq``."""
+        segments = self._segments
+        lo, hi = 0, len(segments)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if segments[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
     def _apply_sack(self, ranges: tuple) -> Optional[Segment]:
-        """Mark SACKed segments; return the newest one for RTT sampling."""
+        """Mark SACKed segments; return the newest one for RTT sampling.
+
+        Each SACK range covers a contiguous run of segments: binary-search
+        to its first segment, walk until ``end_seq`` leaves the range.
+        """
         if not ranges:
             return None
-        newest: Optional[Segment] = None
-        for segment in self._segments:
-            if segment.sacked:
-                continue
-            for lo, hi in ranges:
-                if lo <= segment.seq and segment.end_seq <= hi:
+        segments = self._segments
+        newest_idx = -1
+        for lo, hi in ranges:
+            i = self._bisect_seq(lo)
+            n = len(segments)
+            while i < n:
+                segment = segments[i]
+                if segment.end_seq > hi:
+                    break
+                if not segment.sacked:
                     segment.sacked = True
                     if segment.lost:
                         segment.lost = False
                     else:
                         self._flight_bytes -= segment.size
-                    self._highest_sacked = max(self._highest_sacked, segment.end_seq)
-                    if not segment.retransmitted:
-                        newest = segment
-                    break
-        return newest
+                    if segment.end_seq > self._highest_sacked:
+                        self._highest_sacked = segment.end_seq
+                    if not segment.retransmitted and i > newest_idx:
+                        newest_idx = i
+                i += 1
+        return segments[newest_idx] if newest_idx >= 0 else None
 
     def _detect_losses(self) -> None:
         """SACK-based loss inference (RFC 6675-lite) + dup-ACK fallback."""
         threshold = self._highest_sacked - SACK_REORDER_BYTES_FACTOR * self.mss
         newly_lost: List[Segment] = []
+        now = self.sim.now
+        # Only segments below the SACK threshold can be declared lost, and
+        # they form a prefix of the sorted list — stop at the first
+        # segment beyond it (when nothing was ever SACKed the threshold is
+        # negative and the loop exits on its first iteration).
         for segment in self._segments:
+            if segment.end_seq > threshold:
+                break
             if segment.sacked or segment.lost:
                 continue
-            if segment.end_seq <= threshold and self.sim.now >= segment.no_remark_until:
+            if now >= segment.no_remark_until:
                 segment.lost = True
                 self._flight_bytes -= segment.size
                 newly_lost.append(segment)

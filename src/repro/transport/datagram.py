@@ -10,6 +10,8 @@ the receiving socket reassembles and reports completed messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro._compat import hot_dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import TransportError
@@ -19,7 +21,7 @@ from repro.sim.kernel import Simulator
 from repro.units import DEFAULT_MSS
 
 
-@dataclass
+@hot_dataclass
 class DatagramMessage:
     """Receiver-side reassembly state for one message."""
 

@@ -344,12 +344,12 @@ class MultipathConnection:
     # RTO (data-level: earliest outstanding segment, its subflow's RTO)
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
         if self._snd_una < self._snd_nxt:
             rto = max(s.rtt.rto for s in self.subflows)
-            self._rto_event = self.sim.schedule(rto, self._on_rto)
+            self._rto_event = self.sim.reschedule(self._rto_event, rto, self._on_rto)
+        elif self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
 
     def _on_rto(self) -> None:
         self._rto_event = None

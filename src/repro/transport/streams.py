@@ -21,6 +21,8 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+
+from repro._compat import hot_dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
@@ -32,7 +34,7 @@ DEFAULT_CHUNK_BYTES = 16_384
 STREAM_STRIDE = 1_000_000
 
 
-@dataclass
+@hot_dataclass
 class StreamMessage:
     """Receiver-side notification: one application message on one stream."""
 
@@ -43,7 +45,7 @@ class StreamMessage:
     completed_at: float
 
 
-@dataclass
+@hot_dataclass
 class _Pending:
     """Sender-side queued message on a stream."""
 

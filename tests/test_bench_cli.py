@@ -1,0 +1,223 @@
+"""The benchmark trajectory harness: storage, gate math, CLI exit codes.
+
+The regression gate must fail (exit 1) on an injected >10% normalized
+slowdown, pass (exit 0) on improvements or within-tolerance noise, and
+exit 2 on lookup errors — the CI bench job relies on exactly these codes.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    append_entry,
+    compare_entries,
+    find_entry,
+    load_trajectory,
+    save_trajectory,
+)
+from repro.bench.workloads import WORKLOADS, run_workload
+from repro.cli import main as repro_main
+
+
+def _entry(label, eps_by_name, calib=1_000_000.0, extra=None):
+    results = {
+        name: {"events": 1000, "wall_seconds": 0.1, "events_per_second": eps}
+        for name, eps in eps_by_name.items()
+    }
+    if extra:
+        results.update(extra)
+    return {
+        "label": label,
+        "calibration_ops_per_second": calib,
+        "results": results,
+    }
+
+
+class TestCompareEntries:
+    def test_flags_regression_beyond_gate(self):
+        base = _entry("base", {"kernel": 100_000.0})
+        cur = _entry("cur", {"kernel": 85_000.0})  # -15%
+        rows = compare_entries(base, cur, max_regress_pct=10.0)
+        assert len(rows) == 1
+        assert rows[0].regressed
+        assert rows[0].delta_pct == pytest.approx(-15.0)
+
+    def test_within_tolerance_passes(self):
+        base = _entry("base", {"kernel": 100_000.0})
+        cur = _entry("cur", {"kernel": 95_000.0})  # -5%
+        rows = compare_entries(base, cur, max_regress_pct=10.0)
+        assert not rows[0].regressed
+
+    def test_improvement_passes(self):
+        base = _entry("base", {"kernel": 100_000.0})
+        cur = _entry("cur", {"kernel": 220_000.0})
+        rows = compare_entries(base, cur, max_regress_pct=10.0)
+        assert not rows[0].regressed
+        assert rows[0].delta_pct == pytest.approx(120.0)
+
+    def test_calibration_normalizes_machine_speed(self):
+        """Half the raw events/s on a half-speed box is not a regression."""
+        base = _entry("base", {"kernel": 100_000.0}, calib=2_000_000.0)
+        cur = _entry("cur", {"kernel": 50_000.0}, calib=1_000_000.0)
+        rows = compare_entries(base, cur, max_regress_pct=10.0)
+        assert not rows[0].regressed
+        assert rows[0].delta_pct == pytest.approx(0.0)
+
+    def test_workloads_missing_on_either_side_are_skipped(self):
+        base = _entry("base", {"kernel": 100_000.0, "cancel": 50_000.0})
+        cur = _entry("cur", {"kernel": 100_000.0})
+        rows = compare_entries(base, cur)
+        assert [row.name for row in rows] == ["kernel"]
+
+    def test_render_mentions_verdict(self):
+        base = _entry("base", {"kernel": 100_000.0})
+        cur = _entry("cur", {"kernel": 10_000.0})
+        row = compare_entries(base, cur)[0]
+        assert "REGRESSED" in row.render()
+
+
+class TestTrajectoryStorage:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "TRAJECTORY.json"
+        trajectory = load_trajectory(path)
+        assert trajectory["entries"] == []
+        append_entry(trajectory, "a", {"kernel": {"events_per_second": 1.0}}, 10.0)
+        save_trajectory(trajectory, path)
+        again = load_trajectory(path)
+        assert [e["label"] for e in again["entries"]] == ["a"]
+        assert again["entries"][0]["calibration_ops_per_second"] == 10.0
+
+    def test_find_entry_by_label_and_default_last(self, tmp_path):
+        trajectory = {"entries": []}
+        append_entry(trajectory, "a", {}, 1.0)
+        append_entry(trajectory, "b", {}, 1.0)
+        append_entry(trajectory, "a", {}, 2.0)  # later duplicate label wins
+        assert find_entry(trajectory, None)["calibration_ops_per_second"] == 2.0
+        assert find_entry(trajectory, "a")["calibration_ops_per_second"] == 2.0
+        assert find_entry(trajectory, "b")["label"] == "b"
+        with pytest.raises(LookupError):
+            find_entry(trajectory, "missing")
+        with pytest.raises(LookupError):
+            find_entry({"entries": []}, None)
+
+    def test_load_rejects_non_trajectory_file(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_trajectory(path)
+
+
+class TestBenchCliExitCodes:
+    """End-to-end through ``repro bench ...`` with stored entries only
+    (``--current`` avoids re-measuring, keeping the test fast)."""
+
+    def _write(self, tmp_path, entries):
+        path = tmp_path / "TRAJECTORY.json"
+        save_trajectory({"version": 1, "entries": entries}, path)
+        return path
+
+    def test_injected_regression_exits_1(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            [
+                _entry("pre-pr", {"kernel": 100_000.0, "fig1a": 20_000.0}),
+                _entry("post-pr", {"kernel": 88_000.0, "fig1a": 21_000.0}),
+            ],
+        )
+        code = repro_main(
+            [
+                "bench", "compare",
+                "--trajectory", str(path),
+                "--baseline", "pre-pr",
+                "--current", "post-pr",
+                "--max-regress", "10",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "kernel" in out
+
+    def test_improvement_exits_0(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            [
+                _entry("pre-pr", {"kernel": 100_000.0}),
+                _entry("post-pr", {"kernel": 150_000.0}),
+            ],
+        )
+        code = repro_main(
+            [
+                "bench", "compare",
+                "--trajectory", str(path),
+                "--baseline", "pre-pr",
+                "--current", "post-pr",
+            ]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        path = self._write(tmp_path, [_entry("only", {"kernel": 1.0})])
+        code = repro_main(
+            [
+                "bench", "compare",
+                "--trajectory", str(path),
+                "--baseline", "nope",
+                "--current", "only",
+            ]
+        )
+        assert code == 2
+
+    def test_no_comparable_workloads_exits_2(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [_entry("a", {"kernel": 1.0}), _entry("b", {"cancel": 1.0})],
+        )
+        code = repro_main(
+            ["bench", "compare", "--trajectory", str(path), "--baseline", "a", "--current", "b"]
+        )
+        assert code == 2
+
+    def test_unknown_workload_name_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            repro_main(["bench", "run", "--workloads", "nonsense", "--no-append"])
+
+
+class TestBenchRunQuick:
+    def test_run_appends_quick_entry(self, tmp_path, capsys):
+        """One real quick measurement end-to-end (kernel only: fast)."""
+        path = tmp_path / "TRAJECTORY.json"
+        code = repro_main(
+            [
+                "bench", "run",
+                "--quick",
+                "--workloads", "kernel",
+                "--label", "smoke",
+                "--trajectory", str(path),
+            ]
+        )
+        assert code == 0
+        trajectory = load_trajectory(path)
+        entry = find_entry(trajectory, "smoke")
+        assert entry["quick"] is True
+        record = entry["results"]["kernel"]
+        assert record["events"] > 0
+        assert record["events_per_second"] > 0
+        assert record["alloc_peak_kb"] > 0
+
+
+class TestWorkloadRegistry:
+    def test_all_workloads_registered(self):
+        assert set(WORKLOADS) == {"kernel", "cancel", "fig1a"}
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_workload("bogus")
+
+    def test_cancel_workload_reports_bounded_entries(self):
+        record = run_workload("cancel", quick=True)
+        assert record["max_queue_entries"] > 0
+        # The bounded-memory acceptance: compaction keeps retained entries
+        # far below the ~2500 corpses the seed kernel accumulated.
+        assert record["max_queue_entries"] < 1000

@@ -1,0 +1,158 @@
+"""Event-pool recycling: transient events are reused, regular ones never.
+
+The recycle contract (``docs/PERFORMANCE.md``): only events scheduled via
+``schedule_transient``/``schedule_at_transient`` return to the pool, and
+only after their callback ran (or their cancelled corpse was discarded).
+Pooled events must not pin callbacks or packets, and the free list is
+bounded.
+"""
+
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.pool import EventPool
+
+
+def _noop():
+    return None
+
+
+class TestPoolRecycling:
+    def test_transient_events_are_reused(self):
+        sim = Simulator()
+        state = {"fires": 0}
+
+        def fire():
+            state["fires"] += 1
+            if state["fires"] < 1000:
+                sim.schedule_transient(0.001, fire)
+
+        sim.schedule_transient(0.001, fire)
+        sim.run()
+        pool = sim._queue.pool
+        assert state["fires"] == 1000
+        # Steady-state churn runs on recycled objects: ~1 allocation.
+        assert pool.created <= 2
+        assert pool.reused >= 998
+
+    def test_regular_events_never_pooled(self):
+        sim = Simulator()
+        for _ in range(100):
+            sim.schedule(0.001, _noop)
+        sim.run()
+        pool = sim._queue.pool
+        assert pool.released == 0
+        assert len(pool) == 0
+
+    def test_pooled_event_releases_references(self):
+        """A recycled event must not pin its callback or arguments."""
+        sim = Simulator()
+        payload = object()
+        sim.schedule_transient(0.001, lambda _p: None, payload)
+        sim.run()
+        free = sim._queue.pool._free
+        assert len(free) == 1
+        recycled = free[0]
+        assert recycled.callback is None
+        assert recycled.args == ()
+        assert recycled._queue is None
+
+    def test_free_list_is_bounded(self):
+        pool = EventPool(max_free=4)
+        queue = EventQueue(pool=pool)
+        events = [
+            queue.push(float(i), _noop, (), True) for i in range(10)
+        ]
+        for event in events:
+            queue.pop_next(None)
+            pool.release(event)
+        assert len(pool) == 4
+        assert pool.released == 4
+
+    def test_cancelled_transient_reclaimed_on_discard(self):
+        """A cancelled transient corpse returns to the pool when shed."""
+        sim = Simulator()
+        doomed = sim.schedule_transient(0.001, _noop)
+        sim.schedule(0.002, _noop)
+        doomed.cancel()
+        sim.run()
+        pool = sim._queue.pool
+        assert pool.released >= 1
+        assert doomed.callback is None
+
+    def test_reuse_resets_all_fields(self):
+        queue = EventQueue()
+        stale = queue.push(1.0, _noop, (), True)
+        stale.cancel()
+        queue.peek_time()  # discards + pools the corpse
+        fresh = queue.push(2.0, _noop, ("x",), False)
+        assert fresh is stale  # recycled object
+        assert fresh.time == 2.0
+        assert fresh.cancelled is False
+        assert fresh.transient is False
+        assert fresh.args == ("x",)
+
+    def test_schedule_transient_rejects_past(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_transient(-0.1, _noop)
+        with pytest.raises(SimulationError):
+            sim.schedule_at_transient(-0.1, _noop)
+
+
+class TestReschedule:
+    def test_reschedule_cancels_previous(self):
+        sim = Simulator()
+        fired = []
+        first = sim.reschedule(None, 0.5, fired.append, "first")
+        second = sim.reschedule(first, 0.2, fired.append, "second")
+        sim.run()
+        assert fired == ["second"]
+        assert first.cancelled
+        assert not second.cancelled
+
+    def test_reschedule_accepts_fired_event(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(0.1, fired.append, "first")
+        sim.run()
+        again = sim.reschedule(first, 0.1, fired.append, "again")
+        sim.run()
+        assert fired == ["first", "again"]
+        assert again is not first
+
+    def test_reschedule_rejects_negative_delay(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.reschedule(None, -1.0, _noop)
+
+
+class TestLinkUsesTransients:
+    def test_link_traffic_recycles_events(self):
+        """The per-packet serialize/deliver path must ride the pool."""
+        from repro.net.link import Link, LinkSpec
+        from repro.net.packet import Packet, PacketType
+
+        sim = Simulator()
+        link = Link(sim, LinkSpec(rate_bps=8_000_000, delay=0.01))
+        delivered = []
+        link.connect(delivered.append)
+        for i in range(200):
+            sim.schedule(
+                i * 0.0005,
+                lambda: link.send(Packet(flow_id=0, ptype=PacketType.DATA, payload_bytes=1000)),
+            )
+        sim.run()
+        assert len(delivered) == 200
+        pool = sim._queue.pool
+        # 2 transient events per packet (serialize-done + deliver), served
+        # from a handful of allocations once the pipeline is warm.
+        assert pool.released >= 300
+        assert pool.reused >= 300

@@ -1,0 +1,126 @@
+"""Hot-path objects must be slotted: no per-instance ``__dict__``.
+
+Every per-packet / per-ACK / per-event object the simulator creates in
+bulk goes through ``repro._compat.hot_dataclass`` (slotted on Python
+3.10+) or declares ``__slots__`` directly. A stray attribute assignment
+outside the declared fields would silently resurrect ``__dict__`` on one
+of these classes — this test pins them all down.
+"""
+
+import sys
+
+import pytest
+
+from repro._compat import HAS_DATACLASS_SLOTS, hot_dataclass
+from repro.net.packet import Packet, PacketType
+from repro.sim.events import Event, EventQueue
+from repro.sim.pool import EventPool
+from repro.sim.wheel import TimerWheel
+from repro.transport.cc.base import AckSample
+from repro.net.monitor import ChannelSample
+from repro.obs.probes import TransportSample
+from repro.transport.connection import MessageReceipt, OutgoingMessage, RttRecord, Segment
+from repro.transport.datagram import DatagramMessage
+from repro.transport.streams import StreamMessage, _Pending
+
+#: Always-slotted classes (hand-written ``__slots__``, no version gate).
+ALWAYS_SLOTTED = [
+    (Event, lambda: Event(0.0, 0, lambda: None)),
+    (EventQueue, EventQueue),
+    (EventPool, EventPool),
+    (TimerWheel, TimerWheel),
+]
+
+#: ``hot_dataclass`` types, slotted only where dataclass(slots=) exists.
+HOT_DATACLASSES = [
+    (Packet, lambda: Packet(flow_id=0, ptype=PacketType.DATA)),
+    (Segment, lambda: Segment(seq=0, end_seq=1, sent_at=0.0, delivered_at_send=0)),
+    (MessageReceipt, lambda: MessageReceipt(1, None, 10, 0.0)),
+    (RttRecord, lambda: RttRecord(0.0, 0.01, None, None)),
+    (
+        AckSample,
+        lambda: AckSample(
+            now=0.0, rtt=None, newly_acked=0, in_flight=0, delivery_rate=None
+        ),
+    ),
+    (
+        OutgoingMessage,
+        lambda: OutgoingMessage(start=0, end=10, message_id=1, priority=None),
+    ),
+    (StreamMessage, lambda: StreamMessage(1, 0, 10, 0, 0.0)),
+    (_Pending, lambda: _Pending(message_index=0, size=10, remaining=10)),
+    (
+        DatagramMessage,
+        lambda: DatagramMessage(message_id=1, priority=None, first_packet_at=0.0),
+    ),
+    (ChannelSample, lambda: ChannelSample(0.0, 0, 0, 0, 0, 0.0, 0.0, 0.01)),
+    (
+        TransportSample,
+        lambda: TransportSample(
+            time=0.0, cwnd_bytes=0.0, srtt=None, rto=1.0, inflight_bytes=0
+        ),
+    ),
+]
+
+
+def _assert_no_dict(instance):
+    with pytest.raises(AttributeError):
+        instance.__dict__
+    with pytest.raises(AttributeError):
+        instance.not_a_declared_field = 1
+
+
+@pytest.mark.parametrize(
+    "cls,factory", ALWAYS_SLOTTED, ids=lambda v: getattr(v, "__name__", "")
+)
+def test_core_objects_are_slotted(cls, factory):
+    _assert_no_dict(factory())
+
+
+@pytest.mark.skipif(
+    not HAS_DATACLASS_SLOTS, reason="dataclass(slots=True) needs Python 3.10+"
+)
+@pytest.mark.parametrize(
+    "cls,factory", HOT_DATACLASSES, ids=lambda v: getattr(v, "__name__", "")
+)
+def test_hot_dataclasses_are_slotted(cls, factory):
+    _assert_no_dict(factory())
+
+
+@pytest.mark.parametrize(
+    "cls,factory", HOT_DATACLASSES, ids=lambda v: getattr(v, "__name__", "")
+)
+def test_hot_dataclasses_still_work_unslotted(cls, factory):
+    """On any Python, the shim must at minimum produce a working dataclass."""
+    instance = factory()
+    assert repr(instance)
+
+
+def test_hot_dataclass_shim_passes_options_through():
+    @hot_dataclass(frozen=True)
+    class Frozen:
+        x: int
+
+    f = Frozen(3)
+    assert f.x == 3
+    with pytest.raises(Exception):
+        f.x = 4
+    if HAS_DATACLASS_SLOTS:
+        assert not hasattr(f, "__dict__")
+
+
+def test_packet_replace_and_copy_still_work():
+    """Slots must not break the dataclass utilities the repo relies on."""
+    import dataclasses
+
+    packet = Packet(flow_id=1, ptype=PacketType.DATA, payload_bytes=100)
+    clone = dataclasses.replace(packet, payload_bytes=200)
+    assert clone.payload_bytes == 200
+    assert clone.flow_id == 1
+    redundant = packet.copy_for_redundancy(1)
+    assert redundant.packet_id == packet.packet_id
+    assert redundant.copy_index == 1
+
+
+def test_sys_version_gate_is_consistent():
+    assert HAS_DATACLASS_SLOTS == (sys.version_info >= (3, 10))
