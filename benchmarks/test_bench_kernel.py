@@ -80,6 +80,24 @@ def _drain_fused(queue: EventQueue) -> int:
     return count
 
 
+def _drain_batch(queue: EventQueue) -> int:
+    # The batch discipline Simulator.run is built on: one pop_bucket call
+    # returns the whole sorted same-bucket run; pop_next only serves the
+    # overflow interleavings (none in this workload).
+    count = 0
+    pop_bucket = queue.pop_bucket
+    pop_next = queue.pop_next
+    while True:
+        batch = pop_bucket(UNTIL)
+        if batch:
+            count += len(batch)
+            continue
+        if pop_next(UNTIL) is None:
+            break
+        count += 1
+    return count
+
+
 def _drain_legacy(queue: EventQueue) -> int:
     # The pre-fusion discipline: peek (one scan) to check the bound, then
     # pop (a second scan over the same cancelled prefix).
@@ -120,9 +138,11 @@ def test_bench_kernel_wheel_vs_heap(benchmark):
     speedup = wheel_eps / heap_eps
 
     # Continuity with the previous kernel benchmark: the fused pop_next
-    # discipline against the two-scan peek+pop it replaced.
+    # discipline against the two-scan peek+pop it replaced, plus the
+    # batch pop_bucket discipline this PR's fast loop dispatches with.
     legacy_eps = _best_drain(_drain_legacy)
     fused_eps = _best_drain(_drain_fused)
+    batch_eps = _best_drain(_drain_batch)
 
     # A realistic rate too: one CUBIC bulk flow through the full kernel.
     with timed() as t:
@@ -140,6 +160,8 @@ def test_bench_kernel_wheel_vs_heap(benchmark):
             "fused_events_per_second": round(fused_eps, 1),
             "legacy_events_per_second": round(legacy_eps, 1),
             "fused_over_legacy": round(fused_eps / legacy_eps, 3),
+            "batch_events_per_second": round(batch_eps, 1),
+            "batch_over_fused": round(batch_eps / fused_eps, 3),
             "sim_events_per_second": round(sim_eps, 1),
         },
     )
@@ -147,9 +169,13 @@ def test_bench_kernel_wheel_vs_heap(benchmark):
     print(f"  wheel + pool   : {wheel_eps:12.0f} events/s")
     print(f"  heap (pre-PR)  : {heap_eps:12.0f} events/s  "
           f"(wheel is {speedup:.2f}x)")
-    print(f"  fused pop_next : {fused_eps:12.0f} events/s (full drain)")
+    print(f"  batch pop_bucket: {batch_eps:11.0f} events/s (full drain)")
+    print(f"  fused pop_next : {fused_eps:12.0f} events/s")
     print(f"  legacy peek+pop: {legacy_eps:12.0f} events/s")
     print(f"  full simulator : {sim_eps:12.0f} events/s (cubic bulk flow)")
+    # The batch discipline must beat per-event pops on bucket-dense
+    # workloads; 1.2 leaves room for loaded CI boxes (typically ~1.6x).
+    assert batch_eps > 1.2 * fused_eps, (batch_eps, fused_eps)
     # The wheel must clearly beat the heap it replaced; 1.5 leaves
     # head-room for scheduler noise on loaded CI boxes (typical measured
     # ratio is >2x on an idle machine).

@@ -76,6 +76,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="fail when normalized events/s drops more than PCT%% (default: 10)",
     )
+    compare.add_argument(
+        "--labels",
+        action="store_true",
+        help="list the stored trajectory entries (label, commit, workloads) and exit",
+    )
     return parser
 
 
@@ -132,9 +137,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_labels(trajectory, path: Path) -> int:
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print(f"{path}: no entries")
+        return 0
+    print(f"{path}: {len(entries)} entries")
+    for entry in entries:
+        commit = entry.get("commit") or (
+            "dirty-tree" if entry.get("dirty") else "unknown"
+        )
+        quick = " quick" if entry.get("quick") else ""
+        workloads = ",".join(sorted(entry.get("results", {})))
+        print(
+            f"  {entry.get('label', '?'):<12} commit={commit:<12}{quick}"
+            f" workloads={workloads}"
+        )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     path = Path(args.trajectory) if args.trajectory else default_trajectory_path()
     trajectory = load_trajectory(path)
+    if args.labels:
+        return _cmd_labels(trajectory, path)
     try:
         baseline = find_entry(trajectory, args.baseline)
     except LookupError as exc:

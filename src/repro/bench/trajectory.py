@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,10 +57,10 @@ def save_trajectory(trajectory: Dict[str, Any], path: Optional[Path] = None) -> 
     return path
 
 
-def _git_commit() -> Optional[str]:
+def _git(args: List[str]) -> Optional[subprocess.CompletedProcess]:
     try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
+        return subprocess.run(
+            ["git", *args],
             capture_output=True,
             text=True,
             timeout=10,
@@ -67,7 +68,23 @@ def _git_commit() -> Optional[str]:
         )
     except (OSError, subprocess.TimeoutExpired):
         return None
-    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def git_state() -> tuple:
+    """``(commit, dirty)`` for the working tree the benchmarks just ran in.
+
+    ``commit`` is the *actual* current HEAD (short hash) or ``None``
+    outside a repository; ``dirty`` is True when tracked files differ
+    from HEAD — i.e. the measured code is NOT the code any commit hash
+    names, so stamping one would lie to every later comparison.
+    """
+    out = _git(["rev-parse", "--short", "HEAD"])
+    if out is None or out.returncode != 0:
+        return None, False
+    commit = out.stdout.strip() or None
+    status = _git(["status", "--porcelain", "--untracked-files=no"])
+    dirty = status is not None and status.returncode == 0 and bool(status.stdout.strip())
+    return commit, dirty
 
 
 def append_entry(
@@ -77,15 +94,30 @@ def append_entry(
     calibration_ops_per_second: float,
     quick: bool = False,
 ) -> Dict[str, Any]:
-    """Append one measurement entry and return it."""
+    """Append one measurement entry and return it.
+
+    Commit stamping is honest about dirty trees: a clean checkout
+    records the actual HEAD, while uncommitted changes record
+    ``"commit": null`` plus ``"dirty": true`` and a loud stderr warning
+    — a hash naming code that was not what ran is worse than no hash.
+    """
+    commit, dirty = git_state()
     entry = {
         "label": label,
         "timestamp": round(time.time(), 1),
-        "commit": _git_commit(),
+        "commit": None if dirty else commit,
         "quick": quick,
         "calibration_ops_per_second": round(calibration_ops_per_second, 1),
         "results": results,
     }
+    if dirty:
+        entry["dirty"] = True
+        print(
+            f"bench: WARNING — working tree is dirty (HEAD {commit}); "
+            f"recording commit: null for entry {label!r} so the hash cannot "
+            "misattribute these numbers. Commit first for a citable entry.",
+            file=sys.stderr,
+        )
     trajectory.setdefault("entries", []).append(entry)
     return entry
 

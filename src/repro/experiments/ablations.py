@@ -422,11 +422,13 @@ def tsn_unit(express_mbps: float = 0.0, duration: float = 10.0, seed: int = 0) -
         interval = 2 * express_bytes * 8 / (express_mbps * 1e6)
 
         def inject() -> None:
-            up = Packet(flow_id=999, ptype=PacketType.PROBE)
-            up.header_bytes = express_bytes
+            up = Packet(
+                flow_id=999, ptype=PacketType.PROBE, header_bytes=express_bytes
+            )
             net.client.send(up)
-            down = Packet(flow_id=998, ptype=PacketType.PROBE)
-            down.header_bytes = express_bytes
+            down = Packet(
+                flow_id=998, ptype=PacketType.PROBE, header_bytes=express_bytes
+            )
             net.server.send(down)
 
         PeriodicTimer(net.sim, interval, inject, start_delay=0.0)

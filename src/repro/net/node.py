@@ -18,7 +18,6 @@ from repro.net.channel import Channel
 from repro.net.packet import Packet, PacketType
 from repro.net.resequencer import DEFAULT_HOLD_TIMEOUT, Resequencer
 from repro.sim.kernel import Simulator
-from repro.units import transmission_time
 
 #: Per-flow window of remembered packet ids for redundancy de-duplication.
 DEDUP_WINDOW = 4096
@@ -30,41 +29,64 @@ class ChannelView:
     Steering policies receive a list of these; everything they may legally
     observe (DChannel's deployment model: local queues plus advertised
     channel characteristics) is exposed here.
+
+    Steering consults views on every packet, so the hot accessors are
+    flattened: the outbound link is resolved once at construction, the
+    immutable spec fields (``index``/``name``/``cost_per_byte``/
+    ``reliable``) are plain attributes, and trace-free links take a
+    precomputed static path for rate/delay instead of re-branching through
+    ``Link.current_rate``/``current_delay`` per read.
     """
+
+    __slots__ = (
+        "_channel",
+        "_end",
+        "_out",
+        "_static",
+        "_rate0",
+        "_delay0",
+        "index",
+        "name",
+        "cost_per_byte",
+        "reliable",
+    )
 
     def __init__(self, channel: Channel, end: int) -> None:
         self._channel = channel
         self._end = end
-
-    @property
-    def index(self) -> int:
-        return self._channel.index
-
-    @property
-    def name(self) -> str:
-        return self._channel.spec.name
+        out = channel.out_link(end)
+        self._out = out
+        #: Trace-driven links re-sample rate/delay from the trace at every
+        #: read; fixed links only scale spec constants by the (mutable)
+        #: fault factor/offset — precompute the constants for those.
+        self._static = out.spec.trace is None
+        self._rate0 = out.spec.rate_bps
+        self._delay0 = out.spec.delay
+        self.index = channel.index
+        self.name = channel.spec.name
+        self.cost_per_byte = channel.spec.cost_per_byte
+        self.reliable = channel.spec.reliable
 
     @property
     def up(self) -> bool:
-        return self._channel.up
-
-    @property
-    def cost_per_byte(self) -> float:
-        return self._channel.spec.cost_per_byte
-
-    @property
-    def reliable(self) -> bool:
-        return self._channel.spec.reliable
+        channel = self._channel
+        return channel._admin_up and channel._down_refs == 0
 
     @property
     def rate_bps(self) -> float:
         """Current outbound serialization rate."""
-        return self._channel.out_link(self._end).current_rate()
+        out = self._out
+        if self._static:
+            return self._rate0 * out._rate_factor
+        return out.current_rate()
 
     @property
     def base_delay(self) -> float:
         """Current outbound propagation delay."""
-        return self._channel.out_link(self._end).current_delay()
+        out = self._out
+        if self._static:
+            return self._delay0 + out.delay_offset
+        return out.current_delay()
 
     @property
     def base_rtt(self) -> float:
@@ -73,27 +95,50 @@ class ChannelView:
     @property
     def backlog_bytes(self) -> int:
         """Outbound bytes queued or in service on this host's side."""
-        return self._channel.out_link(self._end).backlog_bytes
+        out = self._out
+        serving = out._serving
+        return out.queue.backlog_bytes + (
+            serving.size_bytes if serving is not None else 0
+        )
 
     @property
     def loss_rate(self) -> float:
         """Stationary outbound loss probability."""
-        return self._channel.out_link(self._end).loss.long_run_rate
+        return self._out.loss.long_run_rate
 
     def queueing_delay(self, extra_bytes: int = 0) -> float:
         """Estimated wait before ``extra_bytes`` would finish serializing."""
-        rate = self.rate_bps
+        out = self._out
+        rate = self._rate0 * out._rate_factor if self._static else out.current_rate()
         if rate <= 0:
             return float("inf")
-        return transmission_time(self.backlog_bytes + extra_bytes, rate)
+        serving = out._serving
+        backlog = out.queue.backlog_bytes + (
+            serving.size_bytes if serving is not None else 0
+        )
+        return (backlog + extra_bytes) * 8 / rate
 
     def estimated_delivery_delay(self, packet_bytes: int) -> float:
         """One-way delay estimate for a packet offered right now.
 
         This is the quantity DChannel's reward heuristic compares across
-        channels: local queueing + serialization + propagation.
+        channels: local queueing + serialization + propagation. One fused
+        read of the link (rate, delay, backlog) per estimate.
         """
-        return self.queueing_delay(packet_bytes) + self.base_delay
+        out = self._out
+        if self._static:
+            rate = self._rate0 * out._rate_factor
+            delay = self._delay0 + out.delay_offset
+        else:
+            rate = out.current_rate()
+            delay = out.current_delay()
+        if rate <= 0:
+            return float("inf")
+        serving = out._serving
+        backlog = out.queue.backlog_bytes + (
+            serving.size_bytes if serving is not None else 0
+        )
+        return (backlog + packet_bytes) * 8 / rate + delay
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ChannelView {self.index}:{self.name} backlog={self.backlog_bytes}B>"

@@ -90,6 +90,15 @@ class Packet:
     #: evidence from that many channels before declaring a hole lost.
     shim_channel_count: int = 1
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: On-the-wire size (payload + headers), fixed at construction. This
+    #: is read several times per hop (steering, queues, serialization,
+    #: congestion accounting), so it is a stored field rather than a
+    #: computed property; construct packets with the right
+    #: ``payload_bytes``/``header_bytes`` instead of mutating them later.
+    size_bytes: int = field(init=False, default=0)
+    #: Steering's control-packet test (pure control type, no payload),
+    #: likewise fixed at construction.
+    is_control: bool = field(init=False, default=False)
     created_at: float = 0.0
     sent_at: Optional[float] = None
     delivered_at: Optional[float] = None
@@ -97,15 +106,9 @@ class Packet:
     #: Incremented each time a redundant copy is made (original is 0).
     copy_index: int = 0
 
-    @property
-    def size_bytes(self) -> int:
-        """On-the-wire size: payload plus header overhead."""
-        return self.payload_bytes + self.header_bytes
-
-    @property
-    def is_control(self) -> bool:
-        """Whether steering should treat this as a control packet."""
-        return self.ptype.is_control and self.payload_bytes == 0
+    def __post_init__(self) -> None:
+        self.size_bytes = self.payload_bytes + self.header_bytes
+        self.is_control = self.ptype.is_control and self.payload_bytes == 0
 
     def copy_for_redundancy(self, copy_index: int) -> "Packet":
         """Duplicate this packet for replication across channels.

@@ -1,0 +1,129 @@
+"""Typed hot-loop kernels — the compilation unit for the optional compiled core.
+
+Every function here is written in the restricted, fully-annotated style
+mypyc compiles well: concrete containers, no closures, no dynamic
+attribute magic, no module-level state. The pure-Python definitions in
+this file *are* the fallback — the selector (:mod:`repro.sim.core`)
+imports either this source module or its mypyc-built extension (which
+shadows the ``.py`` with a ``.so``/``.pyd`` of the same name), so the
+two implementations cannot drift: they are the same source, and the
+hypothesis equivalence suite runs against whichever is active.
+
+These are *batch-granularity* boundaries on purpose. The per-event hot
+paths (``EventQueue.push``, the kernel's inner dispatch loop) keep
+their inlined pure-Python form because a function-call boundary per
+event would cost the uncompiled build more than the compiled build
+gains; the loops below are each paid once per sweep window, bucket
+walk, or wheel filing.
+
+Build: ``python tools/build_core.py`` (needs ``mypy`` — which ships
+mypyc — and a C toolchain). Select at import: ``REPRO_COMPILED=0|1|auto``
+(see :mod:`repro.sim.core` and ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappush
+from typing import Any, Dict, List, Tuple
+
+
+def sweep_times(
+    sizes: List[int], rate: float, now: float
+) -> Tuple[List[float], List[float]]:
+    """Per-packet tx times and cumulative finish instants for a sweep window.
+
+    The scalar twin of the numpy path in
+    :meth:`repro.net.link.LinkBatch.compute`: each tx is
+    ``size * 8 / rate`` and finish instants accumulate sequentially, so
+    the results round bit-for-bit like the per-packet event chain they
+    replace.
+    """
+    tx_times: List[float] = []
+    finish_times: List[float] = []
+    acc = now
+    for size in sizes:
+        tx = size * 8.0 / rate
+        acc += tx
+        tx_times.append(tx)
+        finish_times.append(acc)
+    return tx_times, finish_times
+
+
+def wheel_file(
+    drain: List[Any],
+    drain_pos: int,
+    drain_tick: int,
+    base_tick: int,
+    horizon_ticks: int,
+    buckets: Dict[int, List[Any]],
+    tick_heap: List[int],
+    entry: Any,
+    tick: int,
+) -> int:
+    """File one ``(time, seq, event)`` entry into the wheel's structures.
+
+    Returns ``0`` when merged into the draining run, ``1`` when filed in
+    a future bucket (the caller bumps its bucket-entry counter), ``-1``
+    when the tick lies beyond the horizon (the caller's overflow heap
+    takes it). Mirrors the filing logic inlined in
+    :meth:`repro.sim.events.EventQueue.push`.
+    """
+    if tick <= drain_tick:
+        if not drain or entry >= drain[-1]:
+            drain.append(entry)
+        else:
+            insort(drain, entry, lo=drain_pos)
+        return 0
+    if tick - base_tick > horizon_ticks:
+        return -1
+    bucket = buckets.get(tick)
+    if bucket is None:
+        buckets[tick] = [entry]
+        heappush(tick_heap, tick)
+    else:
+        bucket.append(entry)
+    return 1
+
+
+def drain_batch(
+    drain: List[Any],
+    pos: int,
+    bound_time: float,
+    inclusive: bool,
+    ocut: Any,
+    limit: int,
+) -> Tuple[int, List[Any], List[Any]]:
+    """Collect the eligible live prefix of a loaded, sorted drain bucket.
+
+    Walks ``drain`` from ``pos`` up to the first entry at/beyond
+    ``bound_time`` (``inclusive`` keeps entries equal to the bound), the
+    overflow head ``ocut`` (an entry tuple, or ``None``), or ``limit``
+    live events (negative = unbounded). Returns ``(new_pos,
+    live_events, dead_events)``; the caller settles queue bookkeeping
+    for both lists. This is the walk behind
+    :meth:`repro.sim.events.EventQueue.pop_bucket`.
+    """
+    batch: List[Any] = []
+    dead: List[Any] = []
+    n = len(drain)
+    while pos < n:
+        entry = drain[pos]
+        event = entry[2]
+        if event.cancelled:
+            pos += 1
+            dead.append(event)
+            continue
+        t = entry[0]
+        if inclusive:
+            if t > bound_time:
+                break
+        elif t >= bound_time:
+            break
+        if ocut is not None and not entry < ocut:
+            break
+        pos += 1
+        batch.append(event)
+        if 0 <= limit <= len(batch):
+            break
+    return pos, batch, dead

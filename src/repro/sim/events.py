@@ -24,6 +24,7 @@ from bisect import insort
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sim.core import drain_batch
 from repro.sim.wheel import DEFAULT_GRANULARITY, DEFAULT_HORIZON, TimerWheel
 
 
@@ -97,6 +98,8 @@ class EventQueue:
         "_dead",
         "_pool",
         "_inv_g",
+        "_in_batch",
+        "_compact_pending",
         "compact_min_dead",
         "compactions",
     )
@@ -115,6 +118,15 @@ class EventQueue:
         self._dead = 0
         self._pool = pool if pool is not None else EventPool()
         self._inv_g = self._wheel.inv_granularity
+        #: Batch-dispatch guard: while the kernel walks a drain bucket it
+        #: holds local aliases into the wheel's ``_drain`` list, so a
+        #: compaction (which rebinds that list and resets the cursor)
+        #: must not run underneath it. ``Event.cancel`` inside a batch
+        #: sets ``_compact_pending`` instead; the kernel compacts at the
+        #: next batch boundary. A bucket spans at most one granularity
+        #: tick of events, so the deferral stays bounded.
+        self._in_batch = False
+        self._compact_pending = False
         self.compact_min_dead = COMPACT_MIN_DEAD
         self.compactions = 0
 
@@ -141,22 +153,32 @@ class EventQueue:
         free = pool._free
         if free:
             event = free.pop()
-            event.time = time
-            event.seq = seq
-            event.callback = callback
-            event.args = args
-            event.cancelled = False
-            event.transient = transient
             pool.reused += 1
         else:
-            event = Event(time, seq, callback, args, transient)
+            # ``__new__`` + direct slot stores: ~25% cheaper than calling
+            # ``Event.__init__`` and this is the single hottest allocation
+            # site in the simulator.
+            event = Event.__new__(Event)
             pool.created += 1
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.transient = transient
         event._queue = self
         entry = (time, seq, event)
         tick = int(time * self._inv_g)
         wheel = self._wheel
         if tick <= wheel._drain_tick:
-            insort(wheel._drain, entry, lo=wheel._drain_pos)
+            # Same-bucket insert while (or after) that bucket drains.
+            # Appending beats bisecting when the entry already sorts last —
+            # the common case, since seq grows monotonically.
+            drain = wheel._drain
+            if not drain or entry >= drain[-1]:
+                drain.append(entry)
+            else:
+                insort(drain, entry, lo=wheel._drain_pos)
         elif tick - wheel._base_tick <= wheel.horizon_ticks:
             buckets = wheel._buckets
             bucket = buckets.get(tick)
@@ -165,10 +187,72 @@ class EventQueue:
                 heappush(wheel._tick_heap, tick)
             else:
                 bucket.append(entry)
+            wheel._bucket_entries += 1
         else:
             heappush(self._overflow, entry)
         self._live += 1
         return event
+
+    def push_bulk(self, items) -> None:
+        """File many transient events in one sweep.
+
+        ``items`` is a sequence of ``(time, callback, args)`` tuples in
+        any order. All events are transient (pool-recycled after
+        dispatch; the caller keeps no handles and never cancels) — this
+        is the bulk feed for array-of-structs sweeps like
+        :class:`repro.net.link.LinkBatch`, which computes a window of
+        serialization-finish times in one vectorized pass and hands the
+        whole window over here, paying the queue overhead once per sweep
+        instead of once per packet.
+        """
+        pool = self._pool
+        free = pool._free
+        wheel = self._wheel
+        buckets = wheel._buckets
+        tick_heap = wheel._tick_heap
+        overflow = self._overflow
+        inv_g = self._inv_g
+        drain_tick = wheel._drain_tick
+        base_tick = wheel._base_tick
+        horizon_ticks = wheel.horizon_ticks
+        seq = self._next_seq
+        added = 0
+        for time, callback, args in items:
+            if free:
+                event = free.pop()
+                pool.reused += 1
+            else:
+                event = Event.__new__(Event)
+                pool.created += 1
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.transient = True
+            event._queue = self
+            entry = (time, seq, event)
+            seq += 1
+            tick = int(time * inv_g)
+            if tick <= drain_tick:
+                drain = wheel._drain
+                if not drain or entry >= drain[-1]:
+                    drain.append(entry)
+                else:
+                    insort(drain, entry, lo=wheel._drain_pos)
+            elif tick - base_tick <= horizon_ticks:
+                bucket = buckets.get(tick)
+                if bucket is None:
+                    buckets[tick] = [entry]
+                    heappush(tick_heap, tick)
+                else:
+                    bucket.append(entry)
+                added += 1
+            else:
+                heappush(overflow, entry)
+        wheel._bucket_entries += added
+        self._live += seq - self._next_seq
+        self._next_seq = seq
 
     # ------------------------------------------------------------------
     # Remove
@@ -228,6 +312,66 @@ class EventQueue:
         self._live -= 1
         return event
 
+    def pop_bucket(
+        self, until: Optional[float] = None, limit: Optional[int] = None
+    ) -> List[Event]:
+        """Pop the sorted same-bucket run of live events in one call.
+
+        Returns every live event from the wheel's current (or next)
+        drain bucket whose time is ``<= until`` and earlier than the
+        overflow head, up to ``limit`` events — the batch the kernel's
+        fast loop dispatches between slow-path reloads. Returns ``[]``
+        when the next event lives in the overflow heap (pop it with
+        :meth:`pop_next`) or nothing is eligible.
+
+        Contract: the batch is *materialized*, so a caller that runs
+        callbacks afterwards must not let them schedule into the popped
+        window if it needs heap-identical dispatch order — the kernel
+        therefore walks the drain list in place instead (same entries,
+        same order, but mid-batch inserts still merge). ``pop_bucket``
+        is the API for non-reentrant consumers: replay drivers, the
+        compiled core's boundary, tests, benchmarks.
+        """
+        wheel = self._wheel
+        head = wheel.peek()
+        while head is not None and head[2].cancelled:
+            wheel.advance()
+            self._reclaim(head[2])
+            head = wheel.peek()
+        if head is None:
+            return []
+        overflow = self._overflow
+        while overflow and overflow[0][2].cancelled:
+            self._reclaim(heappop(overflow)[2])
+        bound_time = wheel.bucket_end_time()
+        if until is not None and until < bound_time:
+            bound_time = until + 0.0  # inclusive bound handled below
+            inclusive = True
+        else:
+            inclusive = False
+        ocut = overflow[0] if overflow else None
+        # The walk itself is the selected core loop (mypyc-compiled when
+        # built — see repro.sim.core); bookkeeping stays here.
+        pos, batch, dead = drain_batch(
+            wheel._drain,
+            wheel._drain_pos,
+            bound_time,
+            inclusive,
+            ocut,
+            -1 if limit is None else limit,
+        )
+        pool = self._pool
+        for event in dead:
+            self._dead -= 1
+            event._queue = None
+            if event.transient:
+                pool.release(event)
+        for event in batch:
+            event._queue = None
+        wheel._drain_pos = pos
+        self._live -= len(batch)
+        return batch
+
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event, or ``None`` if empty.
 
@@ -273,11 +417,20 @@ class EventQueue:
     # Cancellation + compaction
     # ------------------------------------------------------------------
     def _on_event_cancelled(self) -> None:
-        """Hook invoked by :meth:`Event.cancel` (exactly once per event)."""
+        """Hook invoked by :meth:`Event.cancel` (exactly once per event).
+
+        Inside a kernel batch the compaction is deferred (flag only):
+        the batch loop aliases the wheel's drain list and compaction
+        rebinds it. The kernel settles the flag at every batch boundary,
+        so the deferral is bounded by one bucket's worth of cancels.
+        """
         self._live -= 1
         self._dead += 1
         if self._dead >= self.compact_min_dead and self._dead > self._live:
-            self._compact()
+            if self._in_batch:
+                self._compact_pending = True
+            else:
+                self._compact()
 
     def _compact(self) -> None:
         """Rebuild every level in O(live), dropping cancelled entries."""

@@ -8,14 +8,29 @@ Typical use::
 
 Components receive the simulator at construction time and schedule their own
 callbacks; nothing in the library spawns threads or sleeps on wall-clock time.
+
+Dispatch is *batched*: :meth:`Simulator.run` pays the slow two-level
+queue sweep once per loaded timer-wheel bucket and then walks the sorted
+bucket with a tight inner loop — one Python-level iteration per event
+instead of one ``pop_next`` call per event. Observable semantics are
+unchanged (``sim.now`` still advances per event, dispatch order is
+bit-for-bit the heap order, ``stop()`` still halts after the active
+event); what moves to per-batch granularity is the queue bookkeeping,
+the compaction trigger, and the invariant hook (see
+:meth:`attach_batch_invariant_hook`). :meth:`run_per_event` keeps the
+classic one-pop-per-event loop as the reference implementation and as
+the path for legacy per-event invariant hooks.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -27,6 +42,20 @@ class Simulator:
         Current simulation time in seconds. Starts at 0.0 and only moves
         forward.
     """
+
+    # ``self.now`` is written once per dispatched event and read by
+    # nearly every callback; slot storage keeps those accesses off the
+    # instance dict.
+    __slots__ = (
+        "now",
+        "_queue",
+        "_running",
+        "_stop_requested",
+        "events_processed",
+        "_obs",
+        "_invariant_hook",
+        "_batch_invariant_hook",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -41,8 +70,13 @@ class Simulator:
         self._obs = None
         #: Optional per-event invariant hook ``fn(now, event_time)`` called
         #: before the clock advances to each event (see :mod:`repro.check`).
-        #: ``None`` costs one branch per event in the dispatch loop.
+        #: Forces :meth:`run` onto the per-event reference loop unless a
+        #: batch hook is also installed.
         self._invariant_hook: Optional[Callable[[float, float], None]] = None
+        #: Optional per-batch invariant hook ``fn(now, first_time, count)``
+        #: called once per dispatched batch (supersedes the per-event hook
+        #: in the batch loop). See :meth:`attach_batch_invariant_hook`.
+        self._batch_invariant_hook: Optional[Callable[[float, float, int], None]] = None
 
     def attach_obs(self, obs) -> None:
         """Attach an observability context (see :mod:`repro.obs`)."""
@@ -53,9 +87,31 @@ class Simulator:
 
         The hook runs *before* ``now`` advances and may raise — an
         :class:`~repro.errors.InvariantError` propagates out of :meth:`run`
-        with the clock still at the pre-event time.
+        with the clock still at the pre-event time. Installing a
+        per-event hook without a batch hook sends :meth:`run` through the
+        per-event reference loop, so the per-event contract is exact (at
+        per-event dispatch cost — attach a batch hook via
+        :meth:`attach_batch_invariant_hook` to stay on the fast loop).
         """
         self._invariant_hook = hook
+
+    def attach_batch_invariant_hook(
+        self, hook: Optional[Callable[[float, float, int], None]]
+    ) -> None:
+        """Install (or clear) the batched invariant hook.
+
+        ``hook(now, first_time, count)`` fires once per dispatched batch:
+        ``now`` is the clock before the batch, ``first_time`` the first
+        event's time, ``count`` how many live events dispatched. Because
+        every batch is a sorted run, checking ``first_time >= now``
+        certifies clock monotonicity for the whole batch — the same law
+        the per-event hook enforces, at 1/len(batch) the cost. Slow-path
+        (overflow/singleton) events report as batches of one, *before*
+        their callback runs; full batches report at the batch boundary,
+        i.e. a law violated mid-batch is detected at the end of that
+        bucket rather than between events.
+        """
+        self._batch_invariant_hook = hook
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -99,6 +155,17 @@ class Simulator:
             )
         return self._queue.push(time, callback, args, transient=True)
 
+    def schedule_transient_bulk(self, items) -> None:
+        """File a whole window of transient events in one queue sweep.
+
+        ``items`` is a sequence of ``(time, callback, args)`` with
+        *absolute* times, each ``>= self.now`` (the caller computed them
+        from ``now`` plus non-negative offsets — e.g. a vectorized link
+        sweep). The per-packet recycle contract of
+        :meth:`schedule_transient` applies: no handles, no cancels.
+        """
+        self._queue.push_bulk(items)
+
     def reschedule(
         self, event: Optional[Event], delay: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
@@ -138,6 +205,183 @@ class Simulator:
             it backwards.
         max_events:
             Safety valve for runaway event cascades in tests.
+
+        This is the batch loop: one slow queue sweep per loaded bucket,
+        then a tight walk over the bucket's sorted entries. Mid-batch
+        schedules merge into the live window (dispatch order stays
+        bit-for-bit the heap order — see ``tests/test_sim_wheel.py``),
+        ``stop()`` is honored per event, and a callback exception leaves
+        the queue exactly as the per-event loop would (the failing event
+        consumed, the cursor and live/dead counts settled).
+        """
+        if self._invariant_hook is not None and self._batch_invariant_hook is None:
+            # Legacy per-event hook: honor its exact contract on the
+            # reference loop rather than approximating it per batch.
+            return self.run_per_event(until, max_events)
+        if type(self._queue) is not EventQueue:
+            # A swapped-in queue (HeapEventQueue cross-checks, test
+            # doubles) has no wheel to batch-drain: serve it with the
+            # per-event reference loop instead of reaching into
+            # internals it does not have.
+            return self.run_per_event(until, max_events)
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stop_requested = False
+        queue = self._queue
+        wheel = queue._wheel
+        pool = queue._pool
+        free = pool._free
+        max_free = pool.max_free
+        overflow = queue._overflow
+        granularity = wheel.granularity
+        batch_check = self._batch_invariant_hook
+        processed = 0
+        released = 0
+        drained = False
+        try:
+            while not self._stop_requested:
+                drain = wheel._drain
+                pos = wheel._drain_pos
+                n = len(drain)
+                if pos >= n or (overflow and not drain[pos] < overflow[0]):
+                    # Slow path: bucket exhausted, or the overflow head
+                    # interleaves. One classic fused pop.
+                    event = queue.pop_next(until)
+                    if event is None:
+                        drained = True
+                        break
+                    if batch_check is not None:
+                        batch_check(self.now, event.time, 1)
+                    self.now = event.time
+                    event.callback(*event.args)
+                    if event.transient and len(free) < max_free:
+                        event.callback = None
+                        event.args = ()
+                        event._queue = None
+                        free.append(event)
+                        released += 1
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+                    continue
+                # Fast path: dispatch the eligible prefix of the loaded
+                # bucket. The bound indices are computed once; mid-batch
+                # inserts can only shift entries rightwards past the
+                # bound, where the next outer iteration picks them up in
+                # order (an insert *before* the cursor is impossible:
+                # new entries carry a larger seq and a time >= now).
+                bound = n
+                if overflow:
+                    cut = bisect_left(drain, overflow[0], lo=pos)
+                    if cut < bound:
+                        bound = cut
+                if until is not None and until < (wheel._drain_tick + 1) * granularity:
+                    cut = bisect_right(drain, (until, _INF), lo=pos)
+                    if cut < bound:
+                        bound = cut
+                    if cut == pos:
+                        # Everything left in this bucket (and hence in
+                        # the whole queue) is beyond the epoch.
+                        drained = True
+                        break
+                if max_events is not None:
+                    cut = pos + (max_events - processed)
+                    if cut < bound:
+                        bound = cut
+                if bound <= pos:
+                    # Overflow head precedes the bucket: slow pop serves it.
+                    event = queue.pop_next(until)
+                    if event is None:
+                        drained = True
+                        break
+                    if batch_check is not None:
+                        batch_check(self.now, event.time, 1)
+                    self.now = event.time
+                    event.callback(*event.args)
+                    if event.transient and len(free) < max_free:
+                        event.callback = None
+                        event.args = ()
+                        event._queue = None
+                        free.append(event)
+                        released += 1
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+                    continue
+                start = pos
+                start_now = self.now
+                first_time = drain[pos][0]
+                dead_delta = 0
+                queue._in_batch = True
+                try:
+                    while pos < bound:
+                        entry = drain[pos]
+                        pos += 1
+                        event = entry[2]
+                        if event.cancelled:
+                            dead_delta += 1
+                            event._queue = None
+                            if event.transient and len(free) < max_free:
+                                event.callback = None
+                                event.args = ()
+                                free.append(event)
+                                released += 1
+                            continue
+                        event._queue = None
+                        self.now = entry[0]
+                        event.callback(*event.args)
+                        if event.transient and len(free) < max_free:
+                            event.callback = None
+                            event.args = ()
+                            event._queue = None
+                            free.append(event)
+                            released += 1
+                        if self._stop_requested:
+                            break
+                finally:
+                    # Exception-safe writeback: whatever happened, the
+                    # cursor and the live/dead counts reflect exactly the
+                    # entries consumed — same queue state the per-event
+                    # loop would leave behind.
+                    wheel._drain_pos = pos
+                    queue._dead -= dead_delta
+                    live_done = pos - start - dead_delta
+                    queue._live -= live_done
+                    processed += live_done
+                    queue._in_batch = False
+                    if queue._compact_pending:
+                        queue._compact_pending = False
+                        if (
+                            queue._dead >= queue.compact_min_dead
+                            and queue._dead > queue._live
+                        ):
+                            queue._compact()
+                if batch_check is not None and live_done:
+                    batch_check(start_now, first_time, live_done)
+                if max_events is not None and processed >= max_events:
+                    break
+            if until is not None and drained and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+            pool.released += released
+            self.events_processed += processed
+            obs = self._obs
+            if obs is not None and processed:
+                obs.registry.counter("sim.events_processed").add(processed)
+
+    def run_per_event(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """The classic one-pop-per-event loop (reference implementation).
+
+        Semantically identical to :meth:`run` — the hypothesis suite in
+        ``tests/test_sim_wheel.py`` holds the two to bit-for-bit equal
+        dispatch records — but pays the full queue sweep for every
+        event. :meth:`run` routes here when a per-event invariant hook
+        is attached without a batch hook; it is also the loop the batch
+        path is benchmarked against.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
@@ -145,15 +389,14 @@ class Simulator:
         self._stop_requested = False
         processed_this_run = 0
         drained = False
-        # Hot path: one fused queue sweep per event (pop_next), with the
-        # bound methods hoisted out of the loop. Transient events (link
-        # serializations, deliveries) go straight back to the pool after
-        # their callback — their schedulers promised not to retain them.
         pop_next = self._queue.pop_next
-        pool = self._queue.pool
-        free = pool._free
-        max_free = pool.max_free
+        # Pool-less queues (HeapEventQueue cross-checks) disable the
+        # transient-recycle branch by making its guard always false.
+        pool = getattr(self._queue, "pool", None)
+        free = pool._free if pool is not None else ()
+        max_free = pool.max_free if pool is not None else 0
         check = self._invariant_hook
+        batch_check = self._batch_invariant_hook
         try:
             while not self._stop_requested:
                 event = pop_next(until)
@@ -162,6 +405,8 @@ class Simulator:
                     break
                 if check is not None:
                     check(self.now, event.time)
+                if batch_check is not None:
+                    batch_check(self.now, event.time, 1)
                 self.now = event.time
                 event.callback(*event.args)
                 if event.transient and len(free) < max_free:
@@ -190,7 +435,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
+        """Number of live (non-cancelled) events still queued.
+
+        Inside a batch this is settled at batch boundaries: a callback
+        reading it mid-batch may see already-dispatched batchmates still
+        counted. Use for post-run assertions, not mid-batch control flow.
+        """
         return len(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,6 +14,14 @@ within a bucket the tuple sort provides the total order — so the hybrid
 queue in :mod:`repro.sim.events` is bit-for-bit interchangeable with the
 classic binary heap it replaces.
 
+Batch draining: the sorted drain bucket *is* the batch. The kernel's
+fast loop (:meth:`repro.sim.kernel.Simulator.run`) walks ``_drain`` from
+``_drain_pos`` directly — one Python-level loop per bucket instead of
+one ``pop_next`` call per event — writing the cursor back when it
+leaves the bucket. :meth:`insert` merges same-bucket arrivals into the
+un-drained suffix, so mid-batch schedules for the current instant keep
+exact FIFO order either way.
+
 Entries scheduled further out than ``horizon`` seconds from the wheel's
 current position are rejected by :meth:`insert`; the caller keeps those
 in its overflow heap (the second level of the hierarchy).
@@ -21,9 +29,10 @@ in its overflow heap (the second level of the hierarchy).
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from bisect import insort
+from heapq import heappop
 from typing import List, Optional, Tuple
+
+from repro.sim.core import wheel_file
 
 #: Bucket width in seconds. 1 ms comfortably separates pacing ticks,
 #: link serialize completions and RTTs while keeping bucket sorts small.
@@ -52,6 +61,7 @@ class TimerWheel:
         "_drain_pos",
         "_drain_tick",
         "_base_tick",
+        "_bucket_entries",
     )
 
     def __init__(
@@ -77,6 +87,12 @@ class TimerWheel:
         #: loads, and nudged by the owner when the overflow heap pops an
         #: event (so a long all-overflow stretch cannot stall the horizon).
         self._base_tick = 0
+        #: Entries filed in ``_buckets`` (the not-yet-loaded calendar).
+        #: Together with ``len(_drain) - _drain_pos`` this makes
+        #: :meth:`entry_count` O(1) instead of a walk over every bucket —
+        #: the compaction-policy checks and benchmark probes that used to
+        #: pay O(buckets) per call now pay two subtractions.
+        self._bucket_entries = 0
 
     # ------------------------------------------------------------------
     # Insert / remove
@@ -87,18 +103,28 @@ class TimerWheel:
         Entries for the bucket currently draining are merged into the
         un-drained suffix with one C-level ``insort`` — a callback that
         schedules for the current instant keeps exact FIFO order.
+
+        Delegates to the selected core loop
+        (:func:`repro.sim.core.wheel_file` — mypyc-compiled when built).
+        ``EventQueue.push`` inlines the same filing logic instead of
+        calling here: that path runs once per scheduled event, where the
+        call boundary would cost the pure build more than the compiled
+        build gains.
         """
-        if tick <= self._drain_tick:
-            insort(self._drain, entry, lo=self._drain_pos)
-            return True
-        if tick - self._base_tick > self.horizon_ticks:
+        filed = wheel_file(
+            self._drain,
+            self._drain_pos,
+            self._drain_tick,
+            self._base_tick,
+            self.horizon_ticks,
+            self._buckets,
+            self._tick_heap,
+            entry,
+            tick,
+        )
+        if filed < 0:
             return False
-        bucket = self._buckets.get(tick)
-        if bucket is None:
-            self._buckets[tick] = [entry]
-            heappush(self._tick_heap, tick)
-        else:
-            bucket.append(entry)
+        self._bucket_entries += filed
         return True
 
     # ------------------------------------------------------------------
@@ -126,6 +152,7 @@ class TimerWheel:
         tick = heappop(tick_heap)
         bucket = self._buckets.pop(tick)
         bucket.sort()
+        self._bucket_entries -= len(bucket)
         self._drain = bucket
         self._drain_pos = 0
         self._drain_tick = tick
@@ -146,11 +173,12 @@ class TimerWheel:
     # Introspection / maintenance
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
-        """Entries physically held (live and cancelled alike)."""
-        total = len(self._drain) - self._drain_pos
-        for bucket in self._buckets.values():
-            total += len(bucket)
-        return total
+        """Entries physically held (live and cancelled alike). O(1)."""
+        return self._bucket_entries + len(self._drain) - self._drain_pos
+
+    def bucket_end_time(self) -> float:
+        """Exclusive upper time bound of the bucket being drained."""
+        return (self._drain_tick + 1) * self.granularity
 
     def compact(self) -> list:
         """Drop cancelled entries everywhere; return their events.
@@ -185,6 +213,7 @@ class TimerWheel:
                     buckets[tick] = live
                 else:
                     emptied.append(tick)
+                self._bucket_entries -= len(bucket) - len(live)
             if emptied:
                 for tick in emptied:
                     del buckets[tick]

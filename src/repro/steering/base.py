@@ -65,10 +65,34 @@ class ChannelHealth:
         The fallback keeps the policy total: when *every* surviving channel
         is inside its hysteresis window, refusing to send would be worse
         than trusting early.
+
+        Fused single pass over the views (update + liveness + trust) —
+        this runs once per steered packet, so the one ``view.up`` read per
+        view matters.
         """
-        self.update(views, now)
-        alive = up_views(views)
-        trusted = [view for view in alive if self.trusted(view, now)]
+        was_up = self._was_up
+        reup_at = self._reup_at
+        hysteresis = self.hysteresis
+        alive: List[ChannelView] = []
+        trusted: List[ChannelView] = []
+        for view in views:
+            up = view.up
+            index = view.index
+            previous = was_up.get(index)
+            if previous is None:
+                was_up[index] = up
+            elif up != previous:
+                was_up[index] = up
+                self.transitions += 1
+                if up:
+                    reup_at[index] = now
+            if up:
+                alive.append(view)
+                at = reup_at.get(index)
+                if at is None or now - at >= hysteresis:
+                    trusted.append(view)
+        if not alive:
+            raise SteeringError("no channel is up")
         return trusted if trusted else alive
 
 

@@ -27,7 +27,6 @@ from repro.net.packet import Packet, PacketType
 from repro.steering.base import (
     ChannelHealth,
     Steerer,
-    lowest_latency,
     risk_adjusted_delay,
 )
 
@@ -92,19 +91,32 @@ class DChannelSteerer(Steerer):
         alive = self.health.usable(views, now)
         if len(alive) == 1:
             return (alive[0].index,)
-        ll = lowest_latency(alive)
-        others = [v for v in alive if v.index != ll.index]
+        # Latency role: one base_delay read per view (min keeps the first
+        # on ties, matching ``lowest_latency``).
+        ll = alive[0]
+        ll_delay = ll.base_delay
+        for view in alive[1:]:
+            delay = view.base_delay
+            if delay < ll_delay:
+                ll, ll_delay = view, delay
         # The bandwidth role goes to the highest-rate remaining channel.
         # Choosing it by instantaneous delay instead is a myopic trap with
         # 3+ channels: an idle narrow path (e.g. LEO) out-bids the fat one
         # until its queue builds, pinning bulk to the wrong channel while
         # the fat pipe idles. (With two channels the two rules coincide —
         # DChannel itself is a two-channel design, §4.)
-        hb = max(others, key=lambda v: v.rate_bps)
+        hb = None
+        hb_rate = -1.0
+        for view in alive:
+            if view is ll:
+                continue
+            rate = view.rate_bps
+            if rate > hb_rate:
+                hb, hb_rate = view, rate
 
         d_ll = risk_adjusted_delay(ll, packet.size_bytes)
         d_hb = risk_adjusted_delay(hb, packet.size_bytes)
-        base_gap = max(0.0, hb.base_delay - ll.base_delay)
+        base_gap = max(0.0, hb.base_delay - ll_delay)
         is_control = packet.is_control and self.accelerate_control
         cap = base_gap * (
             self.control_cap_factor if is_control else self.queue_cap_factor

@@ -171,6 +171,31 @@ class Connection:
         self._snd_una = 0
         self._snd_nxt = 0
         self._segments: List[Segment] = []  # outstanding, ordered by seq
+        #: Loss-scan cursor: every segment below this index is sacked or
+        #: already marked lost, so ``_detect_losses`` never re-reads the
+        #: settled prefix. Shrinks with prefix deletions; resets to 0 when
+        #: a retransmission clears a ``lost`` flag (the only way a
+        #: settled segment becomes scannable again).
+        self._scan_lo = 0
+        #: Loss-sweep high-water mark: every unsacked segment with
+        #: ``end_seq <= _loss_swept`` has already been examined against
+        #: the SACK-reordering threshold (the threshold is monotone, so
+        #: each ACK only needs to sweep the newly uncovered span). The
+        #: deferred leftovers — segments below the mark whose
+        #: ``no_remark_until`` was still in the future — wait in
+        #: ``_remark_pending`` instead of forcing a re-walk of the whole
+        #: sacked scoreboard.
+        self._loss_swept = float("-inf")
+        self._remark_pending: List[Segment] = []
+        #: Wake gates for ``_remark_pending``: the earliest holdoff expiry
+        #: and the lowest blocking ``end_seq`` among deferred segments. A
+        #: pending segment can only become markable when the clock passes
+        #: its holdoff or the threshold reaches its ``end_seq``, so the
+        #: scan is skipped entirely until one of the gates trips — a mass
+        #: retransmission (RTO) parks the whole window here without
+        #: every later ACK re-walking it.
+        self._pending_time_wake = float("inf")
+        self._pending_seq_wake = float("inf")
         self._retx_queue: List[Segment] = []  # declared lost, to resend first
         self._flight_bytes = 0
         self._highest_sacked = 0
@@ -179,6 +204,12 @@ class Connection:
         self._dup_acks = 0
         self._recovery_end: Optional[int] = None
         self._rto_event: Optional[Event] = None
+        #: Lazy RTO: the deadline that actually matters. Every transmit
+        #: and ACK "re-arms" the timer by storing a new deadline here
+        #: (one float assignment); the single scheduled event checks the
+        #: deadline when it fires and sleeps the remainder. This removes
+        #: the cancel+push pair per packet the eager idiom paid.
+        self._rto_deadline: Optional[float] = None
         self._pacing_event: Optional[Event] = None
         self._next_send_time = 0.0
         self._total_delivered = 0
@@ -243,6 +274,7 @@ class Connection:
         if self._closed:
             return
         self._closed = True
+        self._rto_deadline = None
         if self._rto_event is not None:
             self.sim.cancel(self._rto_event)
             self._rto_event = None
@@ -415,9 +447,16 @@ class Connection:
 
     def _retransmit_segment(self, segment: Segment) -> None:
         segment.lost = False
+        self._scan_lo = 0  # the segment re-enters the loss scan
+        # Its end_seq is behind the sweep high-water mark, so the delta
+        # sweep will never revisit it — queue it for re-examination once
+        # the remark holdoff below expires.
         segment.retransmitted = True
         segment.sent_at = self.sim.now
         segment.no_remark_until = self.sim.now + (self.rtt.srtt or 0.1)
+        self._remark_pending.append(segment)
+        if segment.no_remark_until < self._pending_time_wake:
+            self._pending_time_wake = segment.no_remark_until
         self._flight_bytes += segment.size
         self.stats.retransmissions += 1
         self._transmit(segment, retransmission=True)
@@ -445,14 +484,34 @@ class Connection:
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
         if self._snd_una < self._snd_nxt:
-            self._rto_event = self.sim.reschedule(self._rto_event, self.rtt.rto, self._on_rto)
-        elif self._rto_event is not None:
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
+            deadline = self.sim.now + self.rtt.rto
+            self._rto_deadline = deadline
+            event = self._rto_event
+            if event is None or event.cancelled:
+                self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
+            elif deadline < event.time:
+                # The deadline moved *earlier* than the filed event (an
+                # RTO shrink outrunning the clock — e.g. backoff reset
+                # after a blackout). Only this rare case pays the
+                # cancel+push; the common per-packet re-arm is the
+                # deadline store above.
+                self._rto_event = self.sim.reschedule(event, self.rtt.rto, self._on_rto)
+        else:
+            self._rto_deadline = None
+            if self._rto_event is not None:
+                self.sim.cancel(self._rto_event)
+                self._rto_event = None
 
     def _on_rto(self) -> None:
         self._rto_event = None
         if self._closed or self._snd_una >= self._snd_nxt:
+            return
+        deadline = self._rto_deadline
+        if deadline is not None and deadline > self.sim.now:
+            # Re-armed lazily since this event was filed: the timeout
+            # fires at exactly the deadline the eager idiom would have
+            # used — sleep the remainder.
+            self._rto_event = self.sim.schedule_at(deadline, self._on_rto)
             return
         if not self.device.any_channel_up():
             # Total blackout: the timeout measured the outage, not
@@ -466,6 +525,7 @@ class Connection:
                 # Probe the suppressed fire too: a run of timeout samples
                 # with growing RTO but flat cwnd is the blackout signature.
                 self.obs.on_timeout(self)
+            self._rto_deadline = self.sim.now + self.rtt.rto
             self._rto_event = self.sim.schedule(self.rtt.rto, self._on_rto)
             return
         self.stats.timeouts += 1
@@ -664,11 +724,7 @@ class Connection:
         if self.obs is not None:
             self.obs.on_ack(self)
         self._fire_acked_messages()
-        if self._snd_una < self._snd_nxt:
-            self._arm_rto()
-        elif self._rto_event is not None:
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
+        self._arm_rto()  # re-arms on outstanding data, disarms otherwise
         self._try_send()
 
     # ``_segments`` is kept sorted by ``seq`` (equivalently ``end_seq``):
@@ -697,6 +753,8 @@ class Connection:
                 newest = segment
         if idx:
             del segments[:idx]
+            lo = self._scan_lo - idx
+            self._scan_lo = lo if lo > 0 else 0
         return newest
 
     def _bisect_seq(self, seq: int) -> int:
@@ -742,27 +800,101 @@ class Connection:
         return segments[newest_idx] if newest_idx >= 0 else None
 
     def _detect_losses(self) -> None:
-        """SACK-based loss inference (RFC 6675-lite) + dup-ACK fallback."""
+        """SACK-based loss inference (RFC 6675-lite) + dup-ACK fallback.
+
+        The reordering threshold is monotone (``_highest_sacked`` never
+        goes backwards), so each call sweeps only the span of segments
+        the threshold newly uncovered since the previous call — not the
+        whole sub-threshold scoreboard, which is mostly SACKed holes'
+        neighbours that a full walk re-read on every ACK. Segments
+        examined while their remark holdoff was still running wait in
+        ``_remark_pending``; retransmissions re-enter through the same
+        list (see :meth:`_retransmit_segment`).
+        """
         threshold = self._highest_sacked - SACK_REORDER_BYTES_FACTOR * self.mss
         newly_lost: List[Segment] = []
         now = self.sim.now
-        # Only segments below the SACK threshold can be declared lost, and
-        # they form a prefix of the sorted list — stop at the first
-        # segment beyond it (when nothing was ever SACKed the threshold is
-        # negative and the loop exits on its first iteration).
-        for segment in self._segments:
-            if segment.end_seq > threshold:
-                break
+        segments = self._segments
+        n = len(segments)
+        # Advance the cursor past the settled (sacked-or-lost) prefix —
+        # the dup-ACK fallback below needs the first unsettled segment.
+        lo = self._scan_lo
+        while lo < n:
+            segment = segments[lo]
             if segment.sacked or segment.lost:
-                continue
-            if now >= segment.no_remark_until:
+                lo += 1
+            else:
+                break
+        self._scan_lo = lo
+        # Deferred candidates whose holdoff may have expired. Entries are
+        # dropped once settled (sacked, re-lost, or cumulatively acked —
+        # an acked segment left ``_segments`` entirely and must not be
+        # remarked through the retained reference).
+        pending = self._remark_pending
+        if pending and (
+            now >= self._pending_time_wake or threshold >= self._pending_seq_wake
+        ):
+            keep: List[Segment] = []
+            time_wake = float("inf")
+            seq_wake = float("inf")
+            snd_una = self._snd_una
+            for segment in pending:
+                if segment.sacked or segment.lost or segment.end_seq <= snd_una:
+                    continue
+                if segment.end_seq > threshold:
+                    keep.append(segment)
+                    if segment.end_seq < seq_wake:
+                        seq_wake = segment.end_seq
+                    continue
+                if now < segment.no_remark_until:
+                    keep.append(segment)
+                    if segment.no_remark_until < time_wake:
+                        time_wake = segment.no_remark_until
+                    continue
                 segment.lost = True
                 self._flight_bytes -= segment.size
                 newly_lost.append(segment)
+            self._remark_pending = keep
+            self._pending_time_wake = time_wake
+            self._pending_seq_wake = seq_wake
+        # Fresh candidates: the span the threshold uncovered since the
+        # last sweep, ``end_seq`` in (swept, threshold]. New segments are
+        # created above the threshold (their seq exceeds the highest
+        # SACK), so every segment is examined by exactly one delta sweep.
+        swept = self._loss_swept
+        if threshold > swept:
+            i, hi = 0, n
+            while i < hi:
+                mid = (i + hi) // 2
+                if segments[mid].end_seq <= swept:
+                    i = mid + 1
+                else:
+                    hi = mid
+            while i < n:
+                segment = segments[i]
+                i += 1
+                if segment.end_seq > threshold:
+                    break
+                if segment.sacked or segment.lost:
+                    continue
+                if now >= segment.no_remark_until:
+                    segment.lost = True
+                    self._flight_bytes -= segment.size
+                    newly_lost.append(segment)
+                else:
+                    self._remark_pending.append(segment)
+                    if segment.no_remark_until < self._pending_time_wake:
+                        self._pending_time_wake = segment.no_remark_until
+            self._loss_swept = threshold
+        if len(newly_lost) > 1:
+            # Both sources feed the retransmission queue; keep the
+            # sequence order the single-walk implementation produced.
+            newly_lost.sort(key=lambda s: s.seq)
         if not newly_lost and self._dup_acks >= DUP_ACK_THRESHOLD:
-            first = next(
-                (s for s in self._segments if not s.sacked and not s.lost), None
-            )
+            # segments[lo] is by construction the first segment that is
+            # neither sacked nor lost (and the first loop marked nothing
+            # on this branch), so the old linear probe collapses to it.
+            first = segments[lo] if lo < n else None
             if first is not None and self.sim.now >= first.no_remark_until:
                 first.lost = True
                 self._flight_bytes -= first.size

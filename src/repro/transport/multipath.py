@@ -125,7 +125,20 @@ class MultipathConnection:
         self._next_message_index = 0
         self._total_delivered = 0
         self._rto_event: Optional[Event] = None
+        #: Lazily-armed timeout instant. Per-transmit/per-ACK re-arms are a
+        #: float store; the filed event sleeps the remainder when it fires
+        #: early (same idiom as Connection._arm_rto).
+        self._rto_deadline: Optional[float] = None
         self._pacing_event: Optional[Event] = None
+        #: Everything in ``_segments[:_scan_lo]`` is sacked-or-lost, so
+        #: ``_detect_losses`` skips the settled prefix. Reset to 0 by
+        #: ``_retransmit`` (the only lost->False transition that leaves a
+        #: segment unsettled).
+        self._scan_lo = 0
+        #: Per-channel high-water mark of sacked end_seq — the loss
+        #: threshold base, maintained incrementally by ``_apply_sack`` so
+        #: ``_detect_losses`` never rescans the sacked population.
+        self._sack_high: Dict[Optional[int], int] = {}
         self._auto_message_ids = iter(range(10**9, 2 * 10**9))
 
         # Receive state.
@@ -194,6 +207,7 @@ class MultipathConnection:
         if self._closed:
             return
         self._closed = True
+        self._rto_deadline = None
         for event_attr in ("_rto_event", "_pacing_event"):
             event = getattr(self, event_attr)
             if event is not None:
@@ -310,6 +324,9 @@ class MultipathConnection:
 
     def _retransmit(self, segment: Segment, subflow: Subflow) -> None:
         segment.lost = False
+        # The segment re-enters the scannable population; restart the
+        # settled-prefix cursor from the head.
+        self._scan_lo = 0
         segment.retransmitted = True
         segment.sent_at = self.sim.now
         segment.no_remark_until = self.sim.now + subflow.srtt
@@ -346,14 +363,32 @@ class MultipathConnection:
     def _arm_rto(self) -> None:
         if self._snd_una < self._snd_nxt:
             rto = max(s.rtt.rto for s in self.subflows)
-            self._rto_event = self.sim.reschedule(self._rto_event, rto, self._on_rto)
-        elif self._rto_event is not None:
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
+            deadline = self.sim.now + rto
+            self._rto_deadline = deadline
+            event = self._rto_event
+            if event is None or event.cancelled:
+                self._rto_event = self.sim.schedule(rto, self._on_rto)
+            elif deadline < event.time:
+                # Deadline moved earlier than the filed event (RTO shrink
+                # outrunning the clock). Only this rare case pays the
+                # cancel+push; the common re-arm is the store above.
+                self._rto_event = self.sim.reschedule(event, rto, self._on_rto)
+        else:
+            self._rto_deadline = None
+            if self._rto_event is not None:
+                self.sim.cancel(self._rto_event)
+                self._rto_event = None
 
     def _on_rto(self) -> None:
         self._rto_event = None
         if self._closed or self._snd_una >= self._snd_nxt:
+            return
+        deadline = self._rto_deadline
+        if deadline is not None and deadline > self.sim.now:
+            # Re-armed lazily since this event was filed — sleep the
+            # remainder; the real timeout fires at exactly the deadline
+            # the eager idiom would have used.
+            self._rto_event = self.sim.schedule_at(deadline, self._on_rto)
             return
         self.timeouts += 1
         first = next((s for s in self._segments if not s.sacked), None)
@@ -502,11 +537,7 @@ class MultipathConnection:
                 self.obs.on_subflow_ack(self, subflow)
         self._detect_losses()
         self._fire_acked_messages()
-        if self._snd_una < self._snd_nxt:
-            self._arm_rto()
-        elif self._rto_event is not None:
-            self.sim.cancel(self._rto_event)
-            self._rto_event = None
+        self._arm_rto()
         self._try_send()
 
     def _ack_segments_below(self, ack_seq: int) -> Optional[Segment]:
@@ -521,6 +552,12 @@ class MultipathConnection:
                     newest = segment
             else:
                 kept.append(segment)
+        # Segments sit in seq order with monotone end_seq, so the removal
+        # is a prefix — slide the settled-prefix cursor left by its length.
+        removed = len(self._segments) - len(kept)
+        if removed:
+            lo = self._scan_lo - removed
+            self._scan_lo = lo if lo > 0 else 0
         self._segments = kept
         return newest
 
@@ -540,6 +577,9 @@ class MultipathConnection:
                         subflow = self._subflow_for(segment.channel)
                         subflow.in_flight = max(0, subflow.in_flight - segment.size)
                     self._highest_sacked = max(self._highest_sacked, segment.end_seq)
+                    high = self._sack_high.get(segment.channel, 0)
+                    if segment.end_seq > high:
+                        self._sack_high[segment.channel] = segment.end_seq
                     if not segment.retransmitted:
                         newest = segment
                     break
@@ -548,20 +588,34 @@ class MultipathConnection:
     def _detect_losses(self) -> None:
         """Per-subflow SACK loss detection: a hole is lost only relative to
         later deliveries *on its own channel* (cross-channel reordering is
-        normal here, not a loss signal)."""
-        per_channel_high: Dict[Optional[int], int] = {}
-        for segment in self._segments:
-            if segment.sacked:
-                high = per_channel_high.get(segment.channel, 0)
-                per_channel_high[segment.channel] = max(high, segment.end_seq)
+        normal here, not a loss signal).
+
+        ``_sack_high`` carries the per-channel high-water marks
+        incrementally (stale entries from cumulatively-acked segments are
+        harmless: every live segment's end_seq exceeds them, so they can
+        never cross a threshold) and ``_scan_lo`` skips the settled
+        sacked-or-lost prefix, so each call walks only the unsettled tail.
+        """
+        per_channel_high = self._sack_high
+        if not per_channel_high:
+            return
+        segments = self._segments
+        n = len(segments)
+        lo = self._scan_lo
+        while lo < n:
+            head = segments[lo]
+            if head.sacked or head.lost:
+                lo += 1
+            else:
+                break
+        self._scan_lo = lo
+        reorder_slack = SACK_REORDER_BYTES_FACTOR * self.mss
         newly_lost: List[Segment] = []
-        for segment in self._segments:
+        for i in range(lo, n):
+            segment = segments[i]
             if segment.sacked or segment.lost:
                 continue
-            threshold = (
-                per_channel_high.get(segment.channel, 0)
-                - SACK_REORDER_BYTES_FACTOR * self.mss
-            )
+            threshold = per_channel_high.get(segment.channel, 0) - reorder_slack
             if segment.end_seq <= threshold and self.sim.now >= segment.no_remark_until:
                 segment.lost = True
                 subflow = self._subflow_for(segment.channel)

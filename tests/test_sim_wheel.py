@@ -114,6 +114,127 @@ class TestWheelMatchesHeap:
         assert order == [0, 1, 2, 3, 4, 5]
 
 
+# Per-fire actions for the simulator-level equivalence suite: each
+# dispatched event consumes the next action and mutates the pending set
+# mid-run — schedules into the currently draining bucket, same-tick
+# cancels, reschedules — exactly the reentrancy the batch loop must get
+# right. Delays mix three scales: sub-granularity (same-bucket merges),
+# near-horizon, and beyond-horizon (overflow interleavings).
+_actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("sched"),
+            st.one_of(
+                st.floats(min_value=0.0, max_value=0.004),
+                st.floats(min_value=0.0, max_value=2.0),
+                st.floats(min_value=0.0, max_value=50.0),
+            ),
+        ),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10**6)),
+        st.tuples(st.just("resched"), st.integers(min_value=0, max_value=10**6)),
+        st.tuples(st.just("noop"), st.just(None)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class _Script:
+    """Replays one action list through a Simulator, recording dispatch."""
+
+    def __init__(self, sim, actions):
+        self.sim = sim
+        self.actions = list(actions)
+        self.cursor = 0
+        self.label = 0
+        self.handles = []
+        self.record = []
+
+    def seed(self):
+        # Same three scales as the actions, landing in distinct buckets.
+        for delay in (0.0003, 0.0009, 0.25, 7.0):
+            self.spawn(delay)
+
+    def spawn(self, delay):
+        label = self.label
+        self.label += 1
+        self.handles.append(self.sim.schedule(delay, self.fire, label))
+
+    def fire(self, label):
+        self.record.append((round(self.sim.now, 9), label))
+        if self.cursor >= len(self.actions):
+            return
+        kind, payload = self.actions[self.cursor]
+        self.cursor += 1
+        if kind == "sched":
+            self.spawn(payload)
+        elif kind == "cancel" and self.handles:
+            self.handles[payload % len(self.handles)].cancel()
+        elif kind == "resched" and self.handles:
+            old = self.handles[payload % len(self.handles)]
+            if not old.cancelled:
+                old.cancel()
+                self.spawn(0.0007)
+
+
+def _dispatch_record(actions, make_sim, run):
+    sim = make_sim()
+    script = _Script(sim, actions)
+    script.seed()
+    run(sim)
+    return script.record
+
+
+def _heap_sim():
+    sim = Simulator()
+    sim._queue = HeapEventQueue()
+    return sim
+
+
+class TestSimulatorLoopEquivalence:
+    """run() (batch), run_per_event(), and a heap-backed sim must agree."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(_actions)
+    def test_three_way_identical_dispatch(self, actions):
+        batch = _dispatch_record(actions, Simulator, lambda s: s.run())
+        per_event = _dispatch_record(
+            actions, Simulator, lambda s: s.run_per_event()
+        )
+        heap = _dispatch_record(actions, _heap_sim, lambda s: s.run())
+        assert batch == per_event == heap
+
+    @settings(max_examples=40, deadline=None)
+    @given(_actions)
+    def test_batch_equivalence_tiny_horizon(self, actions):
+        """Constant wheel/overflow hand-offs mid-batch."""
+
+        def tiny():
+            sim = Simulator()
+            sim._queue = EventQueue(granularity=1e-3, horizon=10e-3)
+            return sim
+
+        batch = _dispatch_record(actions, tiny, lambda s: s.run())
+        heap = _dispatch_record(actions, _heap_sim, lambda s: s.run())
+        assert batch == heap
+
+    @settings(max_examples=40, deadline=None)
+    @given(_actions, st.floats(min_value=0.0005, max_value=3.0))
+    def test_epoch_runs_match(self, actions, epoch):
+        """Repeated run(until=...) epochs agree with one full drain."""
+
+        def run_epochs(sim):
+            until = epoch
+            for _ in range(30):
+                sim.run(until=until)
+                until += epoch
+            sim.run()
+
+        chunked = _dispatch_record(actions, Simulator, run_epochs)
+        whole = _dispatch_record(actions, Simulator, lambda s: s.run())
+        assert chunked == whole
+
+
 class TestWheelMechanics:
     def test_beyond_horizon_rejected(self):
         wheel = TimerWheel()

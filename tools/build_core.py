@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Build the optional compiled simulator core with mypyc.
+
+Compiles ``src/repro/sim/_core.py`` into a C extension placed next to
+the source (``build_ext --inplace``), where it shadows the pure-Python
+module under the same name. Selection between the two stays with the
+``REPRO_COMPILED`` environment variable (see :mod:`repro.sim.core`).
+
+Usage::
+
+    python tools/build_core.py          # build (needs mypy + C toolchain)
+    python tools/build_core.py --clean  # remove built artifacts
+    python tools/build_core.py --check  # exit 0 iff the compiled core imports
+
+The build is *optional* by design: when mypyc or a compiler is absent
+this script fails with a clear message and the library keeps running on
+the pure-Python fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+SIM = SRC / "repro" / "sim"
+REL_SOURCE = "repro/sim/_core.py"
+
+_SETUP_TEMPLATE = """\
+from setuptools import setup
+from mypyc.build import mypycify
+
+setup(
+    name="repro-compiled-core",
+    ext_modules=mypycify(["{source}"], opt_level="3"),
+)
+"""
+
+
+def built_artifacts() -> list:
+    """Compiled-core build products currently on disk."""
+    artifacts = [p for p in SIM.glob("_core.*") if p.suffix in (".so", ".pyd")]
+    artifacts += list(SIM.glob("_core.*.so")) + list(SIM.glob("_core.*.pyd"))
+    return sorted(set(artifacts))
+
+
+def clean() -> int:
+    removed = []
+    for path in built_artifacts():
+        path.unlink()
+        removed.append(path)
+    for path in (SRC / "build",):
+        if path.is_dir():
+            shutil.rmtree(path)
+            removed.append(path)
+    print(f"removed {len(removed)} artifact(s)")
+    return 0
+
+
+def check() -> int:
+    env = dict(os.environ, REPRO_COMPILED="1", PYTHONPATH=str(SRC))
+    probe = (
+        "from repro.sim import core; "
+        "assert core.COMPILED, core.MODE; "
+        "print('compiled core active:', core.sweep_times([1500], 1e6, 0.0))"
+    )
+    result = subprocess.run([sys.executable, "-c", probe], env=env)
+    return result.returncode
+
+
+def build() -> int:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print(
+            "mypyc is not installed (it ships with `pip install mypy`); "
+            "the pure-Python fallback remains active.",
+            file=sys.stderr,
+        )
+        return 1
+    setup_script = SRC / "_build_core_setup.py"
+    setup_script.write_text(_SETUP_TEMPLATE.format(source=REL_SOURCE))
+    try:
+        result = subprocess.run(
+            [sys.executable, setup_script.name, "build_ext", "--inplace"],
+            cwd=SRC,
+        )
+    finally:
+        setup_script.unlink()
+    if result.returncode != 0:
+        return result.returncode
+    artifacts = built_artifacts()
+    if not artifacts:
+        print("build reported success but produced no extension", file=sys.stderr)
+        return 1
+    print(f"built: {', '.join(str(p.relative_to(ROOT)) for p in artifacts)}")
+    return check()
+
+
+def main() -> int:
+    if "--clean" in sys.argv[1:]:
+        return clean()
+    if "--check" in sys.argv[1:]:
+        return check()
+    return build()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
