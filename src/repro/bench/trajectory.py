@@ -31,6 +31,12 @@ TRAJECTORY_ENV = "REPRO_TRAJECTORY"
 #: ``events_per_second``).
 GATED_METRIC = "events_per_second"
 
+#: Schema version this build reads and writes. Bump on incompatible
+#: changes to the entry layout; :func:`load_trajectory` rejects files
+#: from other versions with an actionable error instead of silently
+#: misreading them.
+TRAJECTORY_VERSION = 1
+
 
 def default_trajectory_path() -> Path:
     override = os.environ.get(TRAJECTORY_ENV)
@@ -43,10 +49,18 @@ def default_trajectory_path() -> Path:
 def load_trajectory(path: Optional[Path] = None) -> Dict[str, Any]:
     path = path or default_trajectory_path()
     if not Path(path).exists():
-        return {"version": 1, "entries": []}
+        return {"version": TRAJECTORY_VERSION, "entries": []}
     data = json.loads(Path(path).read_text())
     if not isinstance(data, dict) or "entries" not in data:
         raise ValueError(f"{path}: not a trajectory file (missing 'entries')")
+    version = data.get("version")
+    if version != TRAJECTORY_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trajectory version {version!r} (this build "
+            f"reads version {TRAJECTORY_VERSION}). Regenerate the file with "
+            f"`python -m repro bench run --label <label>` or check out the "
+            f"matching tooling."
+        )
     return data
 
 

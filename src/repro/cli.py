@@ -76,6 +76,23 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="background tenant count for the fleet experiment",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "split fleet foreground flows across N shard units (the "
+            "background replays identically in every shard; flows in "
+            "different shards do not contend, so this changes the scenario)"
+        ),
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         metavar="DIR",
@@ -108,6 +125,17 @@ def _kwargs_for(name: str, args: argparse.Namespace, runner: ParallelRunner) -> 
         # One outage length, shortened run: smoke-test scale.
         kwargs["outages"] = (1.0,)
         kwargs["duration"] = duration if duration is not None else 8.0
+    if name == "fleet":
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        if args.quick:
+            kwargs["tenants"] = 2_000
+            kwargs["foreground"] = 6
+            kwargs.setdefault("duration", 6.0)
+        if args.tenants is not None:
+            kwargs["tenants"] = args.tenants
+        if args.shards is not None:
+            kwargs["shards"] = args.shards
     if name in ("table1", "baselines", "sweep-urllc-bw", "sweep-threshold", "sweep-urllc-rtt"):
         if args.pages is not None:
             kwargs["page_count"] = args.pages

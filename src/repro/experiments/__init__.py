@@ -17,6 +17,7 @@ Each experiment is a function returning an
 | ab-cost  | §3.1 latency-vs-cost           | :func:`run_cost_ablation` |
 | ab-mp    | §4 multipath subflow design    | :func:`run_multipath_ablation` |
 | faults   | §3.2 outage resilience sweep   | :func:`run_faults`        |
+| fleet    | §4 fleet-scale multi-tenancy   | :func:`run_fleet`         |
 """
 
 from repro.experiments.fig1 import run_fig1a, run_fig1b
@@ -33,6 +34,7 @@ from repro.experiments.ablations import (
     run_tsn_ablation,
 )
 from repro.experiments.baselines import run_baselines
+from repro.experiments.fleet import run_fleet
 from repro.experiments.sensitivity import (
     run_decode_wait_sweep,
     run_threshold_sweep,
@@ -53,6 +55,7 @@ EXPERIMENTS = {
     "ab-reseq": run_resequencer_ablation,
     "ab-tsn": run_tsn_ablation,
     "faults": run_faults,
+    "fleet": run_fleet,
     "baselines": run_baselines,
     "sweep-urllc-bw": run_urllc_bandwidth_sweep,
     "sweep-threshold": run_threshold_sweep,
@@ -75,6 +78,7 @@ __all__ = [
     "run_tsn_ablation",
     "run_baselines",
     "run_faults",
+    "run_fleet",
     "run_urllc_bandwidth_sweep",
     "run_threshold_sweep",
     "run_urllc_rtt_sweep",

@@ -1,0 +1,46 @@
+"""Fleet-scale multi-tenant simulation with a hybrid-fidelity engine.
+
+One simulated network carries 10k+ connections sharing a heterogeneous
+channel pair (ROADMAP item 1). Two fidelities coexist in one kernel:
+
+* **Foreground** flows — the ones under study — run packet-level on the
+  existing event kernel: real transport, real steering, real queues.
+* **Background** tenants run as a fluid approximation
+  (:class:`~repro.fleet.fluid.FluidBackground`): one rate ODE per
+  tenant, stepped on a coarse timer, whose aggregate rate is installed
+  on each :class:`~repro.net.link.Link` as background load. Foreground
+  packets, steering views, and the :class:`~repro.net.monitor.
+  ChannelMonitor` all see that load, so both worlds stay coherent.
+
+The fidelity boundary and what the fluid model does/doesn't capture are
+documented in ``docs/ARCHITECTURE.md``; the hybrid-vs-packet-level
+equivalence gate lives in :mod:`repro.fleet.validation`.
+"""
+
+from repro.fleet.tenants import PopulationSpec, TenantPopulation
+from repro.fleet.fluid import FLUID_CCAS, FluidBackground
+from repro.fleet.hybrid import (
+    FLEET_PRESETS,
+    FleetConfig,
+    FleetSimulation,
+    fleet_channel_specs,
+)
+from repro.fleet.validation import (
+    ValidationTolerance,
+    check_equivalence,
+    run_equivalence_case,
+)
+
+__all__ = [
+    "PopulationSpec",
+    "TenantPopulation",
+    "FLUID_CCAS",
+    "FluidBackground",
+    "FLEET_PRESETS",
+    "FleetConfig",
+    "FleetSimulation",
+    "fleet_channel_specs",
+    "ValidationTolerance",
+    "check_equivalence",
+    "run_equivalence_case",
+]

@@ -1,0 +1,525 @@
+"""The fluid background engine: per-tenant rate ODEs on a coarse timer.
+
+Grounded in the fluid-model analysis of TCP over heterogeneous paths
+(arXiv:1804.02496): each background tenant is a rate variable x_i(t)
+evolving under AIMD-style dynamics against its channel's *load* — the
+fraction of raw capacity consumed by every fluid tenant plus the
+packet-level foreground traffic measured from the link's busy time. The
+aggregate per-channel rate is installed on the corresponding
+:class:`~repro.net.link.Link` as background load, which (a) slows the
+packet-level serializer, (b) shows up in steering's ``ChannelView`` rates
+and (c) is sampled by :class:`~repro.net.monitor.ChannelMonitor` — one
+coherent world across both fidelities.
+
+Per tick of length ``dt`` (default 10 ms, i.e. coarse against the wheel's
+1 ms buckets but fine against multi-second transfers):
+
+* below its load target a tenant grows — exponentially while far below
+  its fair share (slow-start analogue), else additively at
+  ``gain * MSS * 8 / RTT^2`` (the classic 1-packet-per-RTT fluid term);
+* past the target it decays multiplicatively, ``exp(-beta * overload *
+  dt / RTT)`` — the continuous-time shape of AIMD backoff, with
+  delay-sensitive classes/CCAs reacting at lower targets (they see the
+  queue build before loss-based flows see drops).
+
+The update is vectorized with numpy when available; a pure-python tick
+with identical structure keeps the engine dependency-free (the two
+backends agree to float noise, not bit-for-bit — a run always uses one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional
+
+from repro.errors import ScenarioError
+from repro.fleet.tenants import TenantPopulation
+from repro.steering.requirements import REQUIREMENT_CLASSES, assignment_table
+
+try:  # optional acceleration; the pure-python tick is the fallback
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
+#: Fluid congestion-control flavours: how a tenant's rate ODE behaves.
+#: ``beta_scale`` multiplies its class's backoff, ``gain`` scales the
+#: additive-increase term, ``target`` caps the load target (delay-based
+#: CCAs yield before the link saturates; loss-based ones push to 1.0).
+FLUID_CCAS: Dict[str, Dict[str, float]] = {
+    "cubic": {"beta_scale": 1.0, "gain": 1.0, "target": 1.0},
+    "reno": {"beta_scale": 1.4, "gain": 0.7, "target": 1.0},
+    "bbr": {"beta_scale": 0.6, "gain": 1.4, "target": 1.0},
+    "vegas": {"beta_scale": 0.9, "gain": 0.8, "target": 0.90},
+    "vivace": {"beta_scale": 0.8, "gain": 0.9, "target": 0.92},
+}
+
+MSS_BITS = 1448 * 8
+#: Initial-window analogue: 10 packets per RTT.
+INITIAL_PACKETS = 10
+IW_BYTES = INITIAL_PACKETS * 1448
+#: Floor so an active tenant always makes *some* progress (1 kbit/s).
+MIN_RATE_BPS = 1_000.0
+#: The fluid aggregate never occupies more than this share of a link —
+#: total foreground starvation (rate 0) is an outage, not congestion.
+MAX_BG_SHARE = 0.95
+#: Feedback clamp: one tick's multiplicative decay saturates here.
+MAX_OVERLOAD = 1.0
+
+
+class FluidBackground:
+    """Steps a tenant population as fluid flows on the simulation kernel.
+
+    ``channels`` is the network's channel list (data direction = uplink,
+    matching foreground client->server transfers; ACK load rides the
+    downlink at ``ack_fraction``).
+    """
+
+    def __init__(
+        self,
+        sim,
+        channels,
+        population: TenantPopulation,
+        tick: float = 0.01,
+        horizon: Optional[float] = None,
+        ack_fraction: float = 0.05,
+        use_numpy: Optional[bool] = None,
+        obs=None,
+        sense_foreground: bool = True,
+    ) -> None:
+        if tick <= 0:
+            raise ScenarioError(f"tick must be positive, got {tick}")
+        self.sim = sim
+        self.channels = list(channels)
+        if not self.channels:
+            raise ScenarioError("fluid background needs at least one channel")
+        self.population = population
+        self.tick = tick
+        self.horizon = horizon
+        self.ack_fraction = ack_fraction
+        self.obs = obs
+        #: When False the ODEs ignore measured packet-level traffic —
+        #: coupling becomes one-way (background shapes foreground, not
+        #: vice versa) but the background evolution is bit-identical no
+        #: matter what foreground runs alongside, which is what lets
+        #: shards replay it and assert a common digest.
+        self.sense_foreground = sense_foreground
+        self._gauge_active = (
+            obs.registry.gauge("fleet.active_tenants") if obs is not None else None
+        )
+        if use_numpy is None:
+            use_numpy = _np is not None
+        if use_numpy and _np is None:
+            raise ScenarioError("numpy backend requested but numpy is unavailable")
+        self.backend = "numpy" if use_numpy else "python"
+
+        n = len(population)
+        classes = sorted(REQUIREMENT_CLASSES)
+        ccas = sorted(FLUID_CCAS)
+        class_index = {name: i for i, name in enumerate(classes)}
+        cca_index = {name: i for i, name in enumerate(ccas)}
+        for name in population.ccas:
+            if name not in cca_index:
+                known = ", ".join(ccas)
+                raise ScenarioError(f"no fluid model for CCA {name!r}; known: {known}")
+        self._class_names = classes
+        self._cca_names = ccas
+        # Per-tenant combined ODE parameters (class manners x CCA flavour).
+        target = []
+        beta = []
+        gain = []
+        for rclass, cca in zip(population.classes, population.ccas):
+            cls = REQUIREMENT_CLASSES[rclass]
+            cc = FLUID_CCAS[cca]
+            target.append(min(cls.load_target, cc["target"]))
+            beta.append(cls.backoff * cc["beta_scale"])
+            gain.append(cc["gain"])
+        self._class_id = [class_index[c] for c in population.classes]
+        self._cca_id = [cca_index[c] for c in population.ccas]
+
+        if self.backend == "numpy":
+            self._arrival = _np.asarray(population.arrivals, dtype=_np.float64)
+            self._remaining = _np.asarray(population.sizes, dtype=_np.float64)
+            # Slow-start round-trip count for each size: a packet-level
+            # flow needs ceil(log2(S/IW + 1)) RTTs of window growth to
+            # move S bytes, no matter how idle the link is.
+            self._ss_rounds = _np.maximum(
+                _np.ceil(_np.log2(self._remaining / IW_BYTES + 1.0)), 1.0
+            )
+            self._rate = _np.zeros(n, dtype=_np.float64)
+            self._channel = _np.full(n, -1, dtype=_np.int64)
+            self._active = _np.zeros(n, dtype=bool)
+            self._done = _np.zeros(n, dtype=bool)
+            self._fct = _np.full(n, _np.nan, dtype=_np.float64)
+            self._target = _np.asarray(target)
+            self._beta = _np.asarray(beta)
+            self._gain = _np.asarray(gain)
+            self._cca_arr = _np.asarray(self._cca_id, dtype=_np.int64)
+            self._class_arr = _np.asarray(self._class_id, dtype=_np.int64)
+        else:
+            self._arrival = list(population.arrivals)
+            self._remaining = [float(s) for s in population.sizes]
+            self._ss_rounds = [
+                max(math.ceil(math.log2(s / IW_BYTES + 1.0)), 1.0)
+                for s in population.sizes
+            ]
+            self._rate = [0.0] * n
+            self._channel = [-1] * n
+            self._active = [False] * n
+            self._done = [False] * n
+            self._fct = [math.nan] * n
+            self._target = target
+            self._beta = beta
+            self._gain = gain
+
+        self._cursor = 0  # population is arrival-sorted
+        self._last_time: Optional[float] = None
+        self._last_busy = [ch.uplink.stats.busy_time for ch in self.channels]
+        self._last_avail = [ch.uplink.capacity_bps() for ch in self.channels]
+        self._bg_byte_accum = [0.0] * len(self.channels)  # data direction
+        self._ack_byte_accum = [0.0] * len(self.channels)
+        self.bytes_by_cca = {name: 0.0 for name in ccas}
+        self.bytes_by_class = {name: 0.0 for name in classes}
+        self.bytes_by_channel = [0.0] * len(self.channels)
+        self._up_set: Optional[tuple] = None
+        self._table: Dict[str, Optional[int]] = {}
+        self.ticks = 0
+        self._event = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the first tick (idempotent)."""
+        if self._event is None and not self._stopped:
+            self._last_time = self.sim.now
+            self._event = self.sim.schedule(self.tick, self._on_tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _on_tick(self) -> None:
+        self._event = None
+        self.step()
+        if self._stopped:
+            return
+        if self.horizon is None or self.sim.now + self.tick <= self.horizon + 1e-12:
+            self._event = self.sim.schedule(self.tick, self._on_tick)
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_time if self._last_time is not None else self.tick
+        self._last_time = now
+        if dt <= 0:
+            return
+        self.ticks += 1
+
+        up_set = tuple(ch.up for ch in self.channels)
+        if up_set != self._up_set:
+            self._up_set = up_set
+            self._table = assignment_table(self._class_names, self.channels)
+        table_idx = [
+            self._table.get(name) if self._table.get(name) is not None else -1
+            for name in self._class_names
+        ]
+
+        caps = [
+            ch.uplink.capacity_bps() if ch.up else 0.0 for ch in self.channels
+        ]
+        rtts = [max(ch.base_rtt(), 1e-4) for ch in self.channels]
+        # Foreground usage estimate: the serializer was busy for
+        # delta(busy_time) out of dt, at the previously *available* rate.
+        fg = []
+        for i, ch in enumerate(self.channels):
+            busy = ch.uplink.stats.busy_time
+            delta = busy - self._last_busy[i]
+            self._last_busy[i] = busy
+            est = (delta / dt) * self._last_avail[i]
+            fg.append(min(max(est, 0.0), caps[i]))
+        if not self.sense_foreground:
+            fg = [0.0] * len(self.channels)
+
+        if self.backend == "numpy":
+            applied = self._step_numpy(now, dt, table_idx, caps, rtts, fg)
+        else:
+            applied = self._step_python(now, dt, table_idx, caps, rtts, fg)
+
+        # Install the aggregate load and charge the byte meters.
+        for i, ch in enumerate(self.channels):
+            load = applied[i]
+            ch.uplink.set_background_load(load)
+            ch.downlink.set_background_load(load * self.ack_fraction)
+            self._last_avail[i] = max(caps[i] - load, 0.0)
+            whole = int(self._bg_byte_accum[i])
+            if whole:
+                ch.uplink.stats.background_bytes += whole
+                self._bg_byte_accum[i] -= whole
+            ack_whole = int(self._ack_byte_accum[i])
+            if ack_whole:
+                ch.downlink.stats.background_bytes += ack_whole
+                self._ack_byte_accum[i] -= ack_whole
+        if self._gauge_active is not None:
+            self._gauge_active.set(self.active_count())
+
+    # -- numpy backend --------------------------------------------------
+    def _step_numpy(self, now, dt, table_idx, caps, rtts, fg) -> List[float]:
+        np = _np
+        # 1. Admit arrivals (population is arrival-sorted).
+        n = len(self._arrival)
+        cur = self._cursor
+        while cur < n and self._arrival[cur] <= now:
+            cur += 1
+        if cur > self._cursor:
+            fresh = np.arange(self._cursor, cur)
+            self._active[fresh] = True
+            self._cursor = cur
+            self._channel[fresh] = -2  # force (re)assignment below
+        # 2. (Re)assign tenants with no live channel.
+        table = np.asarray(table_idx, dtype=np.int64)
+        chan_up = np.asarray([c > 0 for c in caps], dtype=bool)
+        act = self._active
+        chan = self._channel
+        lost = act & ((chan < 0) | ~np.where(chan >= 0, chan_up[np.clip(chan, 0, None)], False))
+        if lost.any():
+            wanted = table[self._class_arr[lost]]
+            chan[lost] = wanted
+            rtt_arr = np.asarray(rtts)
+            ok = wanted >= 0
+            idx = np.flatnonzero(lost)
+            assigned = idx[ok]
+            self._rate[assigned] = (
+                INITIAL_PACKETS * MSS_BITS / rtt_arr[wanted[ok]]
+            )
+            self._rate[idx[~ok]] = 0.0
+        live = act & (chan >= 0)
+        if not live.any():
+            return [0.0] * len(self.channels)
+        ch_live = chan[live]
+        # 3. Per-channel load from fluid rates + measured foreground.
+        nch = len(self.channels)
+        sums = np.bincount(ch_live, weights=self._rate[live], minlength=nch)
+        caps_arr = np.asarray(caps)
+        fg_arr = np.asarray(fg)
+        safe_caps = np.where(caps_arr > 0, caps_arr, 1.0)
+        load = np.where(caps_arr > 0, (sums + fg_arr) / safe_caps, np.inf)
+        counts = np.bincount(ch_live, minlength=nch).astype(np.float64)
+        counts = np.maximum(counts, 1.0)
+        rtt_arr = np.asarray(rtts)
+        # 4. The ODE update, vectorized over live tenants.
+        li = np.flatnonzero(live)
+        c = ch_live
+        rate = self._rate[li]
+        target = self._target[li]
+        beta = self._beta[li]
+        gain = self._gain[li]
+        rtt = rtt_arr[c]
+        overload = load[c] - target
+        dec = overload > 0
+        rate = np.where(
+            dec,
+            rate * np.exp(-beta * np.minimum(overload, MAX_OVERLOAD) * dt / rtt),
+            rate,
+        )
+        share = caps_arr[c] * target / counts[c]
+        grow = ~dec
+        ss = grow & (rate < 0.5 * share)
+        rate = np.where(ss, np.minimum(rate * 2.0 ** (dt / rtt), share), rate)
+        ai = grow & ~ss
+        rate = np.where(ai, rate + gain * MSS_BITS * dt / (rtt * rtt), rate)
+        remaining = self._remaining[li]
+        rate = np.clip(rate, MIN_RATE_BPS, np.maximum(remaining * 8.0 / dt, MIN_RATE_BPS))
+        rate = np.minimum(rate, caps_arr[c])
+        # 5. Per-channel ceiling: never occupy more than MAX_BG_SHARE.
+        new_sums = np.bincount(c, weights=rate, minlength=nch)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(
+                new_sums > 0,
+                np.minimum(1.0, MAX_BG_SHARE * caps_arr / np.where(new_sums > 0, new_sums, 1.0)),
+                1.0,
+            )
+        eff = rate * scale[c]
+        sent = np.minimum(eff * dt / 8.0, remaining)
+        remaining = remaining - sent
+        self._rate[li] = rate
+        self._remaining[li] = remaining
+        # 6. Byte accounting.
+        sent_by_ch = np.bincount(c, weights=sent, minlength=nch)
+        for i in range(nch):
+            self._bg_byte_accum[i] += sent_by_ch[i]
+            self._ack_byte_accum[i] += sent_by_ch[i] * self.ack_fraction
+            self.bytes_by_channel[i] += sent_by_ch[i]
+        cca_sent = np.bincount(
+            self._cca_arr[li], weights=sent, minlength=len(self._cca_names)
+        )
+        for i, name in enumerate(self._cca_names):
+            self.bytes_by_cca[name] += cca_sent[i]
+        class_sent = np.bincount(
+            self._class_arr[li], weights=sent, minlength=len(self._class_names)
+        )
+        for i, name in enumerate(self._class_names):
+            self.bytes_by_class[name] += class_sent[i]
+        # 7. Completions.
+        finished = remaining <= 1e-6
+        if finished.any():
+            done_idx = li[finished]
+            self._done[done_idx] = True
+            self._active[done_idx] = False
+            # Slow-start floor (Cardwell-style latency model): a
+            # packet-level flow pays ceil(log2(S/IW + 1)) round trips
+            # of window growth even on an idle link; the continuous
+            # rate integral would finish sub-window transfers in a
+            # fraction of an RTT. Under contention the elapsed fluid
+            # time exceeds the floor and wins the max.
+            self._fct[done_idx] = np.maximum(
+                now - self._arrival[done_idx],
+                rtt_arr[chan[done_idx]] * self._ss_rounds[done_idx],
+            )
+        applied = np.bincount(
+            c[~finished], weights=eff[~finished], minlength=nch
+        )
+        applied = np.minimum(applied, MAX_BG_SHARE * caps_arr)
+        return [float(x) for x in applied]
+
+    # -- pure-python backend --------------------------------------------
+    def _step_python(self, now, dt, table_idx, caps, rtts, fg) -> List[float]:
+        n = len(self._arrival)
+        cur = self._cursor
+        while cur < n and self._arrival[cur] <= now:
+            self._active[cur] = True
+            self._channel[cur] = -2
+            cur += 1
+        self._cursor = cur
+        nch = len(self.channels)
+        chan_up = [c > 0 for c in caps]
+        sums = [0.0] * nch
+        counts = [0] * nch
+        live: List[int] = []
+        for i in range(cur):
+            if not self._active[i]:
+                continue
+            c = self._channel[i]
+            if c < 0 or not chan_up[c]:
+                c = table_idx[self._class_id[i]]
+                self._channel[i] = c
+                if c < 0:
+                    self._rate[i] = 0.0
+                    continue
+                self._rate[i] = INITIAL_PACKETS * MSS_BITS / rtts[c]
+            live.append(i)
+            sums[c] += self._rate[i]
+            counts[c] += 1
+        if not live:
+            return [0.0] * nch
+        load = [
+            (sums[c] + fg[c]) / caps[c] if caps[c] > 0 else math.inf
+            for c in range(nch)
+        ]
+        new_sums = [0.0] * nch
+        for i in live:
+            c = self._channel[i]
+            rate = self._rate[i]
+            rtt = rtts[c]
+            overload = load[c] - self._target[i]
+            if overload > 0:
+                rate *= math.exp(
+                    -self._beta[i] * min(overload, MAX_OVERLOAD) * dt / rtt
+                )
+            else:
+                share = caps[c] * self._target[i] / max(counts[c], 1)
+                if rate < 0.5 * share:
+                    rate = min(rate * 2.0 ** (dt / rtt), share)
+                else:
+                    rate += self._gain[i] * MSS_BITS * dt / (rtt * rtt)
+            cap = max(self._remaining[i] * 8.0 / dt, MIN_RATE_BPS)
+            rate = min(max(rate, MIN_RATE_BPS), cap, caps[c])
+            self._rate[i] = rate
+            new_sums[c] += rate
+        scale = [
+            min(1.0, MAX_BG_SHARE * caps[c] / new_sums[c]) if new_sums[c] > 0 else 1.0
+            for c in range(nch)
+        ]
+        applied = [0.0] * nch
+        for i in live:
+            c = self._channel[i]
+            eff = self._rate[i] * scale[c]
+            sent = min(eff * dt / 8.0, self._remaining[i])
+            self._remaining[i] -= sent
+            self._bg_byte_accum[c] += sent
+            self._ack_byte_accum[c] += sent * self.ack_fraction
+            self.bytes_by_channel[c] += sent
+            self.bytes_by_cca[self._cca_names[self._cca_id[i]]] += sent
+            self.bytes_by_class[self._class_names[self._class_id[i]]] += sent
+            if self._remaining[i] <= 1e-6:
+                self._done[i] = True
+                self._active[i] = False
+                # Same slow-start floor as the numpy backend.
+                self._fct[i] = max(
+                    now - self._arrival[i], rtts[c] * self._ss_rounds[i]
+                )
+            else:
+                applied[c] += eff
+        return [min(applied[c], MAX_BG_SHARE * caps[c]) for c in range(nch)]
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def active_count(self) -> int:
+        if self.backend == "numpy":
+            return int(self._active.sum())
+        return sum(self._active)
+
+    def completed_count(self) -> int:
+        if self.backend == "numpy":
+            return int(self._done.sum())
+        return sum(self._done)
+
+    def fct_samples(self) -> List[float]:
+        """Completion times of finished tenants, in tenant order."""
+        if self.backend == "numpy":
+            return [float(x) for x in self._fct[self._done]]
+        return [self._fct[i] for i in range(len(self._fct)) if self._done[i]]
+
+    def fct_by_class(self) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {name: [] for name in self._class_names}
+        done = self._done
+        for i in range(len(self._arrival)):
+            if done[i]:
+                out[self._class_names[self._class_id[i]]].append(float(self._fct[i]))
+        return out
+
+    def results(self) -> Dict:
+        return {
+            "backend": self.backend,
+            "ticks": self.ticks,
+            "tenants": len(self.population),
+            "completed": self.completed_count(),
+            "active_at_end": self.active_count(),
+            "fct": self.fct_samples(),
+            "bytes_by_cca": {k: round(v, 3) for k, v in self.bytes_by_cca.items()},
+            "bytes_by_class": {k: round(v, 3) for k, v in self.bytes_by_class.items()},
+            "bytes_by_channel": [round(v, 3) for v in self.bytes_by_channel],
+        }
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the full tenant state.
+
+        Shards re-run the identical background world; the runner asserts
+        their digests match, which catches any nondeterminism (or a shard
+        accidentally perturbing the background) before results merge.
+        """
+        h = hashlib.sha256()
+        for i in range(len(self._arrival)):
+            h.update(
+                (
+                    f"{i}:{self._remaining[i]:.6f}:{self._rate[i]:.6f}:"
+                    f"{int(self._done[i])}:{self._fct[i]:.9f};"
+                ).encode()
+            )
+        return h.hexdigest()

@@ -152,6 +152,9 @@ class LinkStats:
     flushed: int = 0
     bytes_delivered: int = 0
     busy_time: float = 0.0
+    #: Bytes the fluid background engine charged to this link (fleet
+    #: mode); not part of ``bytes_delivered``, which stays packet-level.
+    background_bytes: int = 0
 
 
 class Link:
@@ -181,6 +184,10 @@ class Link:
         #: is a property: changing it invalidates any precomputed sweep.
         self.delay_offset = 0.0
         self._rate_factor = 1.0
+        #: Aggregate rate (bits/s) consumed by fluid background tenants
+        #: (fleet mode); subtracted from the packet-level serialization
+        #: rate. Set through :meth:`set_background_load`.
+        self._background_bps = 0.0
         self._serving: Optional[Packet] = None
         self._last_delivery_time = -1.0
         #: Active serialization sweep (:class:`LinkBatch`) or ``None``.
@@ -216,11 +223,51 @@ class Link:
             # but everything not yet begun must be re-planned.
             self._invalidate_sweep()
 
-    def current_rate(self) -> float:
-        """Serialization rate right now (bits/s); 0 during a trace outage."""
+    def capacity_bps(self) -> float:
+        """Raw link capacity right now (bits/s), before background load.
+
+        This is what the fluid background engine budgets against and what
+        :class:`~repro.net.monitor.ChannelMonitor` records as the rate, so
+        utilization = (packet bytes + background bytes) / capacity stays a
+        true fraction of the physical link.
+        """
         if self.spec.trace is not None:
             return float(self.spec.trace.rate_at(self.sim.now)) * self._rate_factor
         return self.spec.rate_bps * self._rate_factor
+
+    def current_rate(self) -> float:
+        """Serialization rate available to packets right now (bits/s).
+
+        0 during a trace outage; reduced by any fluid background load
+        (fleet mode), which models background tenants occupying their
+        share of the serializer.
+        """
+        rate = self.capacity_bps()
+        if self._background_bps > 0.0:
+            rate -= self._background_bps
+            if rate < 0.0:
+                return 0.0
+        return rate
+
+    @property
+    def background_bps(self) -> float:
+        """Aggregate fluid background load currently applied (bits/s)."""
+        return self._background_bps
+
+    def set_background_load(self, bps: float) -> None:
+        """Install the fluid tenants' aggregate rate on this direction.
+
+        Mirrors the ``rate_factor`` fault overlay: a change invalidates any
+        precomputed serialization sweep (its finish times assumed the old
+        available rate), while the packet already in service keeps its
+        begin-time rate. Idempotent when the load is unchanged, so a coarse
+        tick that re-applies a steady rate costs one comparison.
+        """
+        if bps < 0.0:
+            raise NetworkError(f"background load must be non-negative, got {bps}")
+        if bps != self._background_bps:
+            self._background_bps = bps
+            self._invalidate_sweep()
 
     def current_delay(self) -> float:
         """One-way propagation delay right now (seconds)."""

@@ -26,7 +26,14 @@ from repro.sim.timers import PeriodicTimer
 
 @hot_dataclass
 class ChannelSample:
-    """One instantaneous observation of one channel."""
+    """One instantaneous observation of one channel.
+
+    ``up_rate_bps``/``down_rate_bps`` record the *raw capacity*
+    (:meth:`~repro.net.link.Link.capacity_bps`) rather than the
+    background-reduced packet rate, so utilization stays a fraction of
+    the physical link. The ``*_background_*`` fields record what the
+    fleet fluid engine consumed; they are 0 outside fleet mode.
+    """
 
     time: float
     up_backlog_bytes: int
@@ -36,6 +43,12 @@ class ChannelSample:
     up_rate_bps: float
     down_rate_bps: float
     base_rtt: float
+    #: Cumulative bytes the fluid background charged to each direction.
+    up_background_bytes: int = 0
+    down_background_bytes: int = 0
+    #: Instantaneous aggregate background rate on each direction.
+    up_background_bps: float = 0.0
+    down_background_bps: float = 0.0
 
 
 @dataclass
@@ -70,9 +83,11 @@ class ChannelSeries:
                 continue
             if direction == "down":
                 used += (curr.down_delivered_bytes - prev.down_delivered_bytes) * 8
+                used += (curr.down_background_bytes - prev.down_background_bytes) * 8
                 possible += 0.5 * (prev.down_rate_bps + curr.down_rate_bps) * dt
             else:
                 used += (curr.up_delivered_bytes - prev.up_delivered_bytes) * 8
+                used += (curr.up_background_bytes - prev.up_background_bytes) * 8
                 possible += 0.5 * (prev.up_rate_bps + curr.up_rate_bps) * dt
         if possible <= 0:
             return 0.0
@@ -129,20 +144,29 @@ class ChannelMonitor:
                     self._gauges[(channel.name, direction, "rate")] = (
                         obs.registry.gauge("channel.rate_bps", **labels)
                     )
+                    self._gauges[(channel.name, direction, "background")] = (
+                        obs.registry.gauge("channel.background_bps", **labels)
+                    )
         self._timer = PeriodicTimer(sim, period, self._sample, start_delay=0.0)
 
     def _sample(self) -> None:
         obs = self.obs
         for channel in self.channels:
+            up = channel.uplink
+            down = channel.downlink
             sample = ChannelSample(
                 time=self.sim.now,
-                up_backlog_bytes=channel.uplink.backlog_bytes,
-                down_backlog_bytes=channel.downlink.backlog_bytes,
-                up_delivered_bytes=channel.uplink.stats.bytes_delivered,
-                down_delivered_bytes=channel.downlink.stats.bytes_delivered,
-                up_rate_bps=channel.uplink.current_rate(),
-                down_rate_bps=channel.downlink.current_rate(),
+                up_backlog_bytes=up.backlog_bytes,
+                down_backlog_bytes=down.backlog_bytes,
+                up_delivered_bytes=up.stats.bytes_delivered,
+                down_delivered_bytes=down.stats.bytes_delivered,
+                up_rate_bps=up.capacity_bps(),
+                down_rate_bps=down.capacity_bps(),
                 base_rtt=channel.base_rtt(),
+                up_background_bytes=up.stats.background_bytes,
+                down_background_bytes=down.stats.background_bytes,
+                up_background_bps=up.background_bps,
+                down_background_bps=down.background_bps,
             )
             self.series[channel.name].samples.append(sample)
             if obs is not None:
@@ -151,6 +175,10 @@ class ChannelMonitor:
                 self._gauges[(name, "down", "backlog")].set(sample.down_backlog_bytes)
                 self._gauges[(name, "up", "rate")].set(sample.up_rate_bps)
                 self._gauges[(name, "down", "rate")].set(sample.down_rate_bps)
+                self._gauges[(name, "up", "background")].set(sample.up_background_bps)
+                self._gauges[(name, "down", "background")].set(
+                    sample.down_background_bps
+                )
                 if obs.trace is not None:
                     obs.trace.append(
                         {
@@ -164,6 +192,10 @@ class ChannelMonitor:
                             "up_rate_bps": sample.up_rate_bps,
                             "down_rate_bps": sample.down_rate_bps,
                             "base_rtt": sample.base_rtt,
+                            "up_background_bytes": sample.up_background_bytes,
+                            "down_background_bytes": sample.down_background_bytes,
+                            "up_background_bps": sample.up_background_bps,
+                            "down_background_bps": sample.down_background_bps,
                         }
                     )
 

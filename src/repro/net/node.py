@@ -74,10 +74,11 @@ class ChannelView:
 
     @property
     def rate_bps(self) -> float:
-        """Current outbound serialization rate."""
+        """Current outbound serialization rate (after background load)."""
         out = self._out
         if self._static:
-            return self._rate0 * out._rate_factor
+            rate = self._rate0 * out._rate_factor - out._background_bps
+            return rate if rate > 0.0 else 0.0
         return out.current_rate()
 
     @property
@@ -91,6 +92,11 @@ class ChannelView:
     @property
     def base_rtt(self) -> float:
         return self._channel.base_rtt()
+
+    @property
+    def capacity_bps(self) -> float:
+        """Raw outbound link capacity (before background subtraction)."""
+        return self._out.capacity_bps()
 
     @property
     def backlog_bytes(self) -> int:
@@ -109,7 +115,10 @@ class ChannelView:
     def queueing_delay(self, extra_bytes: int = 0) -> float:
         """Estimated wait before ``extra_bytes`` would finish serializing."""
         out = self._out
-        rate = self._rate0 * out._rate_factor if self._static else out.current_rate()
+        if self._static:
+            rate = self._rate0 * out._rate_factor - out._background_bps
+        else:
+            rate = out.current_rate()
         if rate <= 0:
             return float("inf")
         serving = out._serving

@@ -14,10 +14,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import field
 from typing import Optional
 
-from repro._compat import hot_dataclass
 from repro.units import DEFAULT_HEADER_BYTES
 
 _packet_ids = itertools.count()
@@ -44,71 +42,131 @@ class PacketType(enum.Enum):
         return self in (PacketType.ACK, PacketType.SYN, PacketType.FIN, PacketType.PROBE)
 
 
-@hot_dataclass
 class Packet:
     """A simulated packet.
 
     ``size_bytes`` is the on-the-wire size (headers included) used for
     serialization and queueing; ``payload_bytes`` is the application/transport
     payload carried.
+
+    ``payload_bytes``/``header_bytes`` are **fixed at construction**:
+    ``size_bytes`` and ``is_control`` are read several times per hop
+    (steering, queues, serialization, congestion accounting), so they are
+    stored once rather than recomputed — a later mutation of the byte
+    fields would silently desync queue byte accounting and steering's
+    control test. Both are therefore exposed as read-only properties;
+    construct a new packet instead of editing an existing one.
     """
 
-    flow_id: int
-    ptype: PacketType
-    payload_bytes: int = 0
-    header_bytes: int = DEFAULT_HEADER_BYTES
+    __slots__ = (
+        "flow_id",
+        "ptype",
+        "_payload_bytes",
+        "_header_bytes",
+        "seq",
+        "end_seq",
+        "ack_seq",
+        "sack",
+        "is_retransmission",
+        "segment",
+        "message_id",
+        "message_priority",
+        "message_last",
+        "message_start",
+        "flow_priority",
+        "channel_hint",
+        "shim_seq",
+        "shim_channel_count",
+        "packet_id",
+        "size_bytes",
+        "is_control",
+        "created_at",
+        "sent_at",
+        "delivered_at",
+        "channel_index",
+        "copy_index",
+    )
 
-    # Transport bookkeeping (meaning is transport-specific).
-    seq: int = 0
-    end_seq: int = 0
-    ack_seq: int = 0
-    #: Selective-ACK ranges carried by pure ACKs: ((start, end), ...).
-    sack: tuple = ()
-    is_retransmission: bool = False
-    #: Opaque reference back to the transport's segment record, if any.
-    segment: Optional[object] = None
+    def __init__(
+        self,
+        flow_id: int,
+        ptype: PacketType,
+        payload_bytes: int = 0,
+        header_bytes: int = DEFAULT_HEADER_BYTES,
+        # Transport bookkeeping (meaning is transport-specific).
+        seq: int = 0,
+        end_seq: int = 0,
+        ack_seq: int = 0,
+        # Selective-ACK ranges carried by pure ACKs: ((start, end), ...).
+        sack: tuple = (),
+        is_retransmission: bool = False,
+        # Opaque reference back to the transport's segment record, if any.
+        segment: Optional[object] = None,
+        # Cross-layer tags (optional; see module docstring).
+        message_id: Optional[int] = None,
+        message_priority: Optional[int] = None,
+        # True when this is the final packet of its message.
+        message_last: bool = False,
+        # Stream offset where this packet's message begins.
+        message_start: Optional[int] = None,
+        # Flow-level priority; lower value = more important. None = untagged.
+        flow_priority: Optional[int] = None,
+        # Channel index requested by a channel-aware transport (multipath
+        # subflows own their channel); bypasses the device's steering policy.
+        channel_hint: Optional[int] = None,
+        # Filled in by the device / links.
+        # Shim-level per-flow sequence number used for cross-channel
+        # resequencing at the receiving device (DChannel's reorder buffer).
+        shim_seq: Optional[int] = None,
+        # How many distinct channels this flow's data has used so far,
+        # stamped by the sending shim. The receiver's FIFO loss proof needs
+        # delivery evidence from that many channels before declaring a hole
+        # lost.
+        shim_channel_count: int = 1,
+        packet_id: Optional[int] = None,
+        created_at: float = 0.0,
+        sent_at: Optional[float] = None,
+        delivered_at: Optional[float] = None,
+        channel_index: Optional[int] = None,
+        # Incremented each time a redundant copy is made (original is 0).
+        copy_index: int = 0,
+    ) -> None:
+        self.flow_id = flow_id
+        self.ptype = ptype
+        self._payload_bytes = payload_bytes
+        self._header_bytes = header_bytes
+        self.seq = seq
+        self.end_seq = end_seq
+        self.ack_seq = ack_seq
+        self.sack = sack
+        self.is_retransmission = is_retransmission
+        self.segment = segment
+        self.message_id = message_id
+        self.message_priority = message_priority
+        self.message_last = message_last
+        self.message_start = message_start
+        self.flow_priority = flow_priority
+        self.channel_hint = channel_hint
+        self.shim_seq = shim_seq
+        self.shim_channel_count = shim_channel_count
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.size_bytes = payload_bytes + header_bytes
+        self.is_control = ptype.is_control and payload_bytes == 0
+        self.created_at = created_at
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+        self.channel_index = channel_index
+        self.copy_index = copy_index
 
-    # Cross-layer tags (optional; see module docstring).
-    message_id: Optional[int] = None
-    message_priority: Optional[int] = None
-    #: True when this is the final packet of its message.
-    message_last: bool = False
-    #: Stream offset where this packet's message begins (reliable transport).
-    message_start: Optional[int] = None
-    #: Flow-level priority; lower value = more important. None = untagged.
-    flow_priority: Optional[int] = None
-    #: Channel index requested by a channel-aware transport (multipath
-    #: subflows own their channel); bypasses the device's steering policy.
-    channel_hint: Optional[int] = None
+    @property
+    def payload_bytes(self) -> int:
+        """Application/transport payload carried. Fixed at construction."""
+        return self._payload_bytes
 
-    # Filled in by the device / links.
-    #: Shim-level per-flow sequence number used for cross-channel
-    #: resequencing at the receiving device (DChannel's reorder buffer).
-    shim_seq: Optional[int] = None
-    #: How many distinct channels this flow's data has used so far, stamped
-    #: by the sending shim. The receiver's FIFO loss proof needs delivery
-    #: evidence from that many channels before declaring a hole lost.
-    shim_channel_count: int = 1
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: On-the-wire size (payload + headers), fixed at construction. This
-    #: is read several times per hop (steering, queues, serialization,
-    #: congestion accounting), so it is a stored field rather than a
-    #: computed property; construct packets with the right
-    #: ``payload_bytes``/``header_bytes`` instead of mutating them later.
-    size_bytes: int = field(init=False, default=0)
-    #: Steering's control-packet test (pure control type, no payload),
-    #: likewise fixed at construction.
-    is_control: bool = field(init=False, default=False)
-    created_at: float = 0.0
-    sent_at: Optional[float] = None
-    delivered_at: Optional[float] = None
-    channel_index: Optional[int] = None
-    #: Incremented each time a redundant copy is made (original is 0).
-    copy_index: int = 0
-
-    def __post_init__(self) -> None:
-        self.size_bytes = self.payload_bytes + self.header_bytes
-        self.is_control = self.ptype.is_control and self.payload_bytes == 0
+    @property
+    def header_bytes(self) -> int:
+        """Header overhead on the wire. Fixed at construction."""
+        return self._header_bytes
 
     def copy_for_redundancy(self, copy_index: int) -> "Packet":
         """Duplicate this packet for replication across channels.

@@ -58,6 +58,16 @@ TRACE_SCHEMA: Dict[str, Dict[str, tuple]] = {
     "metrics": {"metrics": _DICT},
 }
 
+#: kind -> {field: allowed types} for fields that MAY appear but are not
+#: required — traces written before the field existed stay valid. The
+#: fleet background fields ride here: a non-fleet run omits them.
+TRACE_OPTIONAL: Dict[str, Dict[str, tuple]] = {
+    "channel": {
+        "up_background_bytes": _INT, "down_background_bytes": _INT,
+        "up_background_bps": _NUM, "down_background_bps": _NUM,
+    },
+}
+
 #: Drop reasons the schema accepts.
 DROP_REASONS = ("overflow", "loss", "down")
 
@@ -78,6 +88,14 @@ def validate_record(record: dict) -> List[str]:
             continue
         value = record[fld]
         # bool is an int subclass in Python; don't let it satisfy _INT/_NUM.
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
+            errors.append(f"{kind}: field {fld!r} has type {type(value).__name__}")
+    for fld, types in TRACE_OPTIONAL.get(kind, {}).items():
+        if fld not in record:
+            continue
+        value = record[fld]
         if not isinstance(value, types) or (
             isinstance(value, bool) and bool not in types
         ):

@@ -90,6 +90,12 @@ class TraceSummary:
                         up_rate_bps=record["up_rate_bps"],
                         down_rate_bps=record["down_rate_bps"],
                         base_rtt=record["base_rtt"],
+                        # Fleet background fields are optional: traces
+                        # written before they existed rebuild as 0.
+                        up_background_bytes=record.get("up_background_bytes", 0),
+                        down_background_bytes=record.get("down_background_bytes", 0),
+                        up_background_bps=record.get("up_background_bps", 0.0),
+                        down_background_bps=record.get("down_background_bps", 0.0),
                     )
                 )
             elif kind == "transport":

@@ -64,9 +64,16 @@ class Event:
 
         Live-count accounting lives in the queue, so cancelling directly or
         via :meth:`repro.sim.kernel.Simulator.cancel` agree on ``len(queue)``.
+
+        Cancelling proves the caller retained a handle, so a transient
+        event is demoted to a regular one here: it must never be recycled
+        through the event pool, or the retained handle would alias whatever
+        event the pool hands out next (stale callback firing, or a future
+        cancel() silently killing an unrelated event).
         """
         if not self.cancelled:
             self.cancelled = True
+            self.transient = False
             queue = self._queue
             if queue is not None:
                 queue._on_event_cancelled()

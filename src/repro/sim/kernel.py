@@ -137,9 +137,15 @@ class Simulator:
 
         The returned event object is returned to the event pool right
         after its callback runs; the caller MUST NOT retain the reference
-        or cancel it (see the recycle contract in ``docs/PERFORMANCE.md``).
+        past dispatch (see the recycle contract in ``docs/PERFORMANCE.md``).
         Use for high-volume per-packet events nobody ever cancels — link
         serialization completions, deliveries.
+
+        ``cancel()`` on the returned event *before* it fires is safe: the
+        cancel demotes the event to a regular (non-pooled) one, so the
+        retained handle can never alias a recycled object. Cancelling
+        after dispatch remains undefined — by then the object may already
+        be filed as a different event.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")

@@ -20,6 +20,8 @@ Policies are the paper's design space, one module per layer/idea:
 * :mod:`repro.steering.redundant` — replication across channels for
   reliability (Wi-Fi 7 MLO, §2.2).
 * :mod:`repro.steering.cost` — latency-vs-monetary-cost budgets (cISP, §3.1).
+* :mod:`repro.steering.requirements` — Hercules-style per-tenant
+  requirement classes used by the fleet-scale multi-tenant mode.
 
 Use :func:`make_steerer` to build one by name; every device gets its own
 instance (policies keep per-direction state like token buckets).
@@ -42,6 +44,14 @@ from repro.steering.flow_priority import FlowPriorityFilter
 from repro.steering.transport_aware import TransportAwareSteerer
 from repro.steering.redundant import RedundantSteerer
 from repro.steering.cost import CostAwareSteerer
+from repro.steering.requirements import (
+    REQUIREMENT_CLASSES,
+    ChannelTraits,
+    RequirementClass,
+    RequirementPinnedSteerer,
+    assignment_table,
+    requirement_class,
+)
 
 _REGISTRY: Dict[str, Callable[..., Steerer]] = {
     "single": SingleChannelSteerer,
@@ -50,6 +60,7 @@ _REGISTRY: Dict[str, Callable[..., Steerer]] = {
     "min-rtt": MinRttSteerer,
     "ecf": EcfSteerer,
     "flow-pinned": FlowPinnedSteerer,
+    "requirement-pinned": RequirementPinnedSteerer,
     "dchannel": DChannelSteerer,
     "general": GeneralSteerer,
     "priority": MessagePrioritySteerer,
@@ -98,4 +109,10 @@ __all__ = [
     "CostAwareSteerer",
     "make_steerer",
     "list_steerers",
+    "REQUIREMENT_CLASSES",
+    "ChannelTraits",
+    "RequirementClass",
+    "RequirementPinnedSteerer",
+    "assignment_table",
+    "requirement_class",
 ]

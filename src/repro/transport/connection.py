@@ -148,6 +148,7 @@ class Connection:
         handshake: bool = False,
         on_message: Optional[Callable[[MessageReceipt], None]] = None,
         ack_bytes: int = 0,
+        tenant_id: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -156,6 +157,10 @@ class Connection:
         self.cc: CongestionControl = make_cc(cc, mss=mss) if isinstance(cc, str) else cc
         self.rtt = RttEstimator(min_rto=min_rto)
         self.flow_priority = flow_priority
+        #: Fleet-mode tenant this connection belongs to (``None`` outside
+        #: multi-tenant runs); lets experiments attribute foreground flows
+        #: to tenants and requirement classes.
+        self.tenant_id = tenant_id
         self.on_message = on_message
         #: Payload bytes a pure ACK carries (0 = genuinely pure). Setting
         #: this >0 models "data tacked onto the ACK" (§3.2 discussion).

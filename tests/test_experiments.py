@@ -25,6 +25,7 @@ class TestRegistry:
             "ab-tsn",
             "baselines",
             "faults",
+            "fleet",
             "sweep-urllc-bw",
             "sweep-threshold",
             "sweep-urllc-rtt",

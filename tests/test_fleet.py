@@ -1,0 +1,278 @@
+"""The fleet package: tenant populations, the fluid engine, the hybrid
+simulation, and the sharded experiment merge."""
+
+import math
+
+import pytest
+
+from repro.errors import RunnerError, ScenarioError
+from repro.experiments.fleet import _merge_shards, fleet_unit, run_fleet
+from repro.fleet import (
+    FleetConfig,
+    FleetSimulation,
+    FluidBackground,
+    PopulationSpec,
+    TenantPopulation,
+    fleet_channel_specs,
+    run_equivalence_case,
+)
+from repro.fleet.fluid import IW_BYTES, MAX_BG_SHARE
+from repro.core.api import HvcNetwork
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+def small_spec(tenants=50, duration=8.0, seed=0, **kw):
+    return PopulationSpec(tenants=tenants, duration=duration, seed=seed, **kw)
+
+
+class TestTenantPopulation:
+    def test_deterministic_for_seed(self):
+        a = TenantPopulation.generate(small_spec(seed=3))
+        b = TenantPopulation.generate(small_spec(seed=3))
+        assert a.arrivals == b.arrivals
+        assert a.sizes == b.sizes
+        assert a.classes == b.classes
+        assert a.ccas == b.ccas
+
+    def test_seed_changes_population(self):
+        a = TenantPopulation.generate(small_spec(seed=3))
+        b = TenantPopulation.generate(small_spec(seed=4))
+        assert a.sizes != b.sizes
+
+    def test_sorted_by_arrival_and_bounded(self):
+        spec = small_spec(tenants=200)
+        pop = TenantPopulation.generate(spec)
+        assert pop.arrivals == sorted(pop.arrivals)
+        assert all(0 <= t <= spec.duration * spec.arrival_span for t in pop.arrivals)
+        assert all(spec.min_size <= s <= spec.max_size for s in pop.sizes)
+        assert set(pop.classes) <= {name for name, _ in spec.class_mix}
+        assert set(pop.ccas) <= {name for name, _ in spec.cca_mix}
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ScenarioError):
+            PopulationSpec(tenants=0, duration=5.0).validate()
+        with pytest.raises(ScenarioError):
+            PopulationSpec(tenants=5, duration=5.0, arrival_span=0.0).validate()
+        with pytest.raises(ScenarioError):
+            PopulationSpec(
+                tenants=5, duration=5.0, class_mix=(("latency", -1.0),)
+            ).validate()
+
+
+def run_fluid(use_numpy, tenants=60, duration=6.0, seed=2, **kw):
+    net = HvcNetwork([fixed_embb_spec(), urllc_spec()], seed=seed)
+    pop = TenantPopulation.generate(small_spec(tenants=tenants, duration=duration, seed=seed))
+    fluid = FluidBackground(
+        net.sim, net.channels, pop, horizon=duration, use_numpy=use_numpy, **kw
+    )
+    fluid.start()
+    net.run(until=duration)
+    fluid.stop()
+    return net, fluid
+
+
+class TestFluidBackground:
+    def test_python_backend_runs_and_completes(self):
+        net, fluid = run_fluid(use_numpy=False)
+        assert fluid.backend == "python"
+        assert fluid.ticks > 0
+        assert fluid.completed_count() > 0
+        assert all(f > 0 for f in fluid.fct_samples())
+
+    @needs_numpy
+    def test_backends_agree(self):
+        """The vectorized and pure-python ticks implement one model."""
+        _, fp = run_fluid(use_numpy=False)
+        _, fn = run_fluid(use_numpy=True)
+        assert fp.completed_count() == fn.completed_count()
+        for a, b in zip(fp.fct_samples(), fn.fct_samples()):
+            assert a == pytest.approx(b, rel=1e-6)
+        for name in fp.bytes_by_cca:
+            assert fp.bytes_by_cca[name] == pytest.approx(
+                fn.bytes_by_cca[name], rel=1e-6
+            )
+
+    def test_background_load_reaches_links_and_views(self):
+        net = HvcNetwork([fixed_embb_spec(), urllc_spec()], seed=2)
+        pop = TenantPopulation.generate(small_spec(tenants=120, duration=6.0, seed=2))
+        fluid = FluidBackground(
+            net.sim, net.channels, pop, horizon=6.0, use_numpy=False
+        )
+        fluid.start()
+        snapshots = []
+
+        def probe():
+            # Mid-run, while tenants are still active: the load must be
+            # installed on the links and coherent with current_rate().
+            snapshots.extend(
+                (ch.uplink.background_bps, ch.uplink.capacity_bps(),
+                 ch.uplink.current_rate())
+                for ch in net.channels
+            )
+
+        for k in range(1, 80):
+            net.sim.schedule(k * 0.05, probe)
+        net.run(until=6.0)
+        fluid.stop()
+        assert any(bg > 0 for bg, _, _ in snapshots), (
+            "fluid never installed load on any uplink"
+        )
+        for bg, cap, rate in snapshots:
+            assert rate == pytest.approx(max(cap - bg, 0.0))
+            assert bg <= MAX_BG_SHARE * cap + 1e-6
+        assert any(
+            ch.uplink.stats.background_bytes > 0 for ch in net.channels
+        )
+
+    def test_fct_respects_slow_start_floor(self):
+        _, fluid = run_fluid(use_numpy=False)
+        pop = fluid.population
+        rtts = [max(ch.base_rtt(), 1e-4) for ch in fluid.channels]
+        min_rtt = min(rtts)
+        for i, fct in enumerate(fluid._fct):
+            if not fluid._done[i]:
+                continue
+            rounds = max(math.ceil(math.log2(pop.sizes[i] / IW_BYTES + 1.0)), 1)
+            assert fct >= min_rtt * rounds - 1e-9
+
+    def test_digest_deterministic_and_state_sensitive(self):
+        _, a = run_fluid(use_numpy=False)
+        _, b = run_fluid(use_numpy=False)
+        assert a.digest() == b.digest()
+        _, c = run_fluid(use_numpy=False, seed=3)
+        assert a.digest() != c.digest()
+
+    def test_sense_foreground_off_ignores_packet_traffic(self):
+        """With sensing off, a busy foreground must not perturb the ODEs."""
+
+        def run(fg_flows):
+            config = FleetConfig(
+                tenants=80,
+                foreground=fg_flows,
+                duration=4.0,
+                preset="paper",
+                sense_foreground=False,
+            )
+            sim = FleetSimulation(config, use_numpy=False)
+            sim.run()
+            return sim.fluid.digest()
+
+        assert run(0) == run(8)
+
+    def test_rejects_unknown_cca(self):
+        net = HvcNetwork([fixed_embb_spec()], seed=0)
+        pop = TenantPopulation.generate(
+            small_spec(tenants=4, cca_mix=(("quic-magic", 1.0),))
+        )
+        with pytest.raises(ScenarioError, match="no fluid model"):
+            FluidBackground(net.sim, net.channels, pop, use_numpy=False)
+
+
+class TestFleetSimulation:
+    def test_hybrid_run_reports_both_fidelities(self):
+        config = FleetConfig(
+            tenants=300, foreground=10, duration=5.0, preset="paper"
+        )
+        sim = FleetSimulation(config)
+        out = sim.run()
+        assert out["background"]["completed"] > 0
+        assert len(out["foreground"]) == 10
+        assert sum(len(f["fct"]) for f in out["foreground"]) > 0
+        shares = out["goodput_shares"]
+        assert shares and abs(sum(shares.values()) - 1.0) < 0.01
+        assert 0.0 <= min(v["up"] for v in out["utilization"].values())
+        assert out["events_processed"] > 0
+
+    def test_foreground_slows_under_background(self):
+        """Packet-level flows must actually feel the fluid load."""
+
+        def fg_p50(tenants):
+            config = FleetConfig(
+                tenants=tenants, foreground=4, duration=5.0, preset="small"
+            )
+            out = FleetSimulation(config).run()
+            fcts = sorted(x for f in out["foreground"] for x in f["fct"])
+            return fcts[len(fcts) // 2]
+
+        # Thousands of tenants on the 12 Mbps pair must visibly stretch
+        # foreground completion times vs a near-empty network.
+        assert fg_p50(3000) > fg_p50(1) * 2.0
+
+    def test_sharded_config_requires_decoupling(self):
+        with pytest.raises(ScenarioError, match="sense_foreground"):
+            FleetConfig(tenants=10, foreground=4, shards=2, shard=0).validate()
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fleet preset"):
+            fleet_channel_specs("hypercube")
+
+
+class TestFleetExperiment:
+    def test_shard_merge_matches_single_shard_background(self):
+        kw = dict(tenants=400, foreground=4, duration=4.0, seed=1)
+        single = fleet_unit(shard=0, shards=1, **kw)
+        # fleet_unit forces sense_foreground=False, so shard workers
+        # reproduce the identical background world.
+        parts = [fleet_unit(shard=s, shards=2, **kw) for s in range(2)]
+        assert parts[0]["background_digest"] == parts[1]["background_digest"]
+        assert parts[0]["background_digest"] == single["background_digest"]
+        merged = _merge_shards(parts)
+        assert [f["index"] for f in merged["foreground"]] == list(range(4))
+        assert merged["events_processed"] == sum(
+            p["events_processed"] for p in parts
+        )
+
+    def test_merge_refuses_divergent_backgrounds(self):
+        kw = dict(tenants=100, foreground=2, duration=3.0, seed=1)
+        parts = [fleet_unit(shard=s, shards=2, **kw) for s in range(2)]
+        parts[1] = dict(parts[1], background_digest="corrupted")
+        with pytest.raises(RunnerError, match="background digest"):
+            _merge_shards(parts)
+
+    def test_run_fleet_result_values(self):
+        result = run_fleet(
+            tenants=300, foreground=4, duration=4.0, validate=False
+        )
+        assert result.values["tenants"] == 300.0
+        assert result.values["bg_completed"] > 0
+        assert result.values["fg_fct_p50_ms"] > 0
+        assert result.values["bg_fct_p99_ms"] >= result.values["bg_fct_p50_ms"]
+        shares = {
+            k[len("share_"):]: v
+            for k, v in result.values.items()
+            if k.startswith("share_")
+        }
+        assert abs(sum(shares.values()) - 1.0) < 0.01
+        assert result.events_processed > 0
+
+    def test_run_fleet_shard_invariant(self):
+        base = run_fleet(tenants=200, foreground=1, duration=3.0, validate=False)
+        # One foreground flow cannot be split, so any shard request
+        # collapses to the identical scenario.
+        sharded = run_fleet(
+            tenants=200, foreground=1, duration=3.0, shards=4, validate=False
+        )
+        assert base.values == sharded.values
+
+
+class TestEquivalenceGate:
+    def test_case_rejects_large_fleets(self):
+        with pytest.raises(ValueError, match="<=100"):
+            run_equivalence_case(flows=101)
+
+    def test_report_shape(self):
+        rep = run_equivalence_case(flows=30, duration=6.0, seed=0)
+        assert rep["full"]["engine"] == "full"
+        assert rep["hybrid"]["engine"] == "hybrid"
+        for key in ("fct_p50_rel", "fct_p90_rel", "fct_p50_abs", "util_abs"):
+            assert key in rep["deltas"]
+        assert rep["full"]["completed"] == rep["full"]["tenants"] == 30

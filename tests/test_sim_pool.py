@@ -2,9 +2,10 @@
 
 The recycle contract (``docs/PERFORMANCE.md``): only events scheduled via
 ``schedule_transient``/``schedule_at_transient`` return to the pool, and
-only after their callback ran (or their cancelled corpse was discarded).
-Pooled events must not pin callbacks or packets, and the free list is
-bounded.
+only after their callback ran. ``cancel()`` demotes a transient to a
+regular event (the caller proved it kept a handle), so cancelled corpses
+are shed but never recycled. Pooled events must not pin callbacks or
+packets, and the free list is bounded.
 """
 
 from repro.sim.events import EventQueue
@@ -68,22 +69,63 @@ class TestPoolRecycling:
         assert len(pool) == 4
         assert pool.released == 4
 
-    def test_cancelled_transient_reclaimed_on_discard(self):
-        """A cancelled transient corpse returns to the pool when shed."""
+    def test_cancelled_transient_never_pooled(self):
+        """cancel() demotes a transient: the handle must stay unaliased.
+
+        The caller proved it kept the handle by cancelling, so recycling
+        the object would alias that handle onto a future unrelated event.
+        The corpse is shed from the queue but NOT returned to the pool.
+        """
         sim = Simulator()
         doomed = sim.schedule_transient(0.001, _noop)
         sim.schedule(0.002, _noop)
         doomed.cancel()
+        assert doomed.transient is False
         sim.run()
         pool = sim._queue.pool
-        assert pool.released >= 1
-        assert doomed.callback is None
+        assert pool.released == 0
+        assert doomed not in pool._free
+        # The handle still describes the event the caller cancelled.
+        assert doomed.cancelled is True
+        assert doomed.callback is _noop
+
+    def test_cancel_transient_mid_batch_does_not_alias(self):
+        """Regression: cancelling a transient from within the same dispatch
+        batch (same wheel bucket) must neither fire it nor recycle it.
+
+        Pre-fix, the batch loop pooled the cancelled corpse inline, so the
+        next transient push returned the *same object* as the retained
+        handle — cancel() on the handle would then kill the new event.
+        """
+        sim = Simulator()
+        fired = []
+        handles = {}
+
+        def canceller():
+            handles["doomed"].cancel()
+
+        # Same 1ms wheel bucket: canceller dispatches first (earlier seq),
+        # then the loop walks over the now-cancelled transient corpse.
+        sim.schedule(0.0005, canceller)
+        handles["doomed"] = sim.schedule_transient(0.0006, fired.append, "doomed")
+        sim.schedule(0.0007, fired.append, "survivor")
+        sim.run(until=0.001)
+        assert fired == ["survivor"]
+        assert sim._queue.pool.released == 0
+        # A fresh transient must be a distinct object from the handle.
+        fresh = sim.schedule_transient(0.001, _noop)
+        assert fresh is not handles["doomed"]
+        # Cancelling the stale handle again must not touch the new event.
+        handles["doomed"].cancel()
+        assert fresh.cancelled is False
+        sim.run()
+        assert fresh.cancelled is False
 
     def test_reuse_resets_all_fields(self):
         queue = EventQueue()
         stale = queue.push(1.0, _noop, (), True)
-        stale.cancel()
-        queue.peek_time()  # discards + pools the corpse
+        queue.pop_next(None)  # dispatch-style pop; caller pools it
+        queue.pool.release(stale)
         fresh = queue.push(2.0, _noop, ("x",), False)
         assert fresh is stale  # recycled object
         assert fresh.time == 2.0

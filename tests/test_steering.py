@@ -49,6 +49,10 @@ class FakeView:
         self.cost_per_byte = cost_per_byte
         self.reliable = reliable
         self.loss_rate = loss_rate
+        # Requirement-class steering reads these two contract fields;
+        # a fake channel has no background load, so capacity == rate.
+        self.base_rtt = 2 * base_delay
+        self.capacity_bps = rate_bps
 
     def queueing_delay(self, extra_bytes=0):
         if self.rate_bps <= 0:
