@@ -27,10 +27,11 @@ class BulkTransfer:
         cc: str = "cubic",
         flow_priority: Optional[int] = None,
         total_bytes: Optional[int] = None,
+        **conn_kwargs,
     ) -> None:
         self.net = net
         self.pair: ConnectionPair = net.open_connection(
-            cc=cc, flow_priority=flow_priority
+            cc=cc, flow_priority=flow_priority, **conn_kwargs
         )
         size = total_bytes if total_bytes is not None else BACKLOG_BYTES
         self.pair.client.send_message(size, message_id=1)

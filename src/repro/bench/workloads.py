@@ -227,6 +227,28 @@ def workload_fleet(quick: bool = False) -> Dict[str, Any]:
     return record
 
 
+def _run_cc_matrix_cell(duration: float) -> Dict[str, Any]:
+    from repro.experiments.cc_matrix import pair_unit
+
+    # The matrix's most expensive cell family: two BBR-family flows on the
+    # WAN preset, where per-ACK filter work and the SACK scoreboard at WAN
+    # BDP dominate. This is the path the WindowedMax filters exist for.
+    out = pair_unit(
+        cc_a="bbr", cc_b="bbr2+", preset="wan", steering="min-rtt",
+        duration=duration,
+    )
+    return {"events": out["events"]}
+
+
+def workload_cc_matrix(quick: bool = False) -> Dict[str, Any]:
+    """Coexistence-matrix hot cell: BBR vs BBRv2+ at WAN BDP."""
+    duration = 0.8 if quick else 2.0
+    out, wall = _timed_best(lambda: _run_cc_matrix_cell(duration))
+    record = _finalize(out["events"], wall)
+    record.update(_alloc_pass(lambda: _run_cc_matrix_cell(duration)))
+    return record
+
+
 def _finalize(events: int, wall: float) -> Dict[str, Any]:
     return {
         "events": events,
@@ -251,6 +273,7 @@ WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "cancel": workload_cancel,
     "fig1a": workload_fig1a,
     "fleet": workload_fleet,
+    "cc_matrix": workload_cc_matrix,
 }
 
 

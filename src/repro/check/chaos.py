@@ -57,8 +57,9 @@ STEERINGS = (
 
 #: Congestion controllers drawn for reliable flows.
 CCAS = (
-    "reno", "cubic", "bbr", "copa", "vegas", "vivace",
-    "hvc-reno", "hvc-cubic", "hvc-bbr",
+    "reno", "cubic", "bbr", "bbr2", "bbr2+", "copa", "vegas", "vivace",
+    "req-latency", "req-throughput", "req-deadline", "req-background",
+    "hvc-reno", "hvc-cubic", "hvc-bbr", "hvc-bbr2+",
 )
 
 #: Default campaign scale (the acceptance bar runs >= 200 scenarios).

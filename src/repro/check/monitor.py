@@ -28,7 +28,8 @@ transport-bytes             connection: bytes ACKed ≤ bytes sent
 transport-receive           connection: OOO ranges disjoint, above rcv_nxt
 transport-cross             pair: sender's ACKed prefix ≤ peer's contiguous
                             receive prefix ≤ sender's sent prefix
-transport-cc-bounds         connection: cwnd > 0, RTO within [min, max]
+transport-cc-bounds         connection: cwnd finite and > 0, pacing rate
+                            (when paced) finite and > 0, RTO in [min, max]
 fault-balance               injector: channel holds / link overlays match
                             the set of applied-but-unreverted faults
 fault-final                 injector: everything reverted past the horizon
@@ -61,6 +62,7 @@ pre-existing ``obs is None`` checks plus one branch per kernel event
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -590,9 +592,17 @@ class InvariantMonitor:
         )
         check(
             "transport-cc-bounds", entity,
-            state["cwnd_bytes"] > 0,
-            "congestion window collapsed to zero or below",
+            state["cwnd_bytes"] > 0 and math.isfinite(state["cwnd_bytes"]),
+            "congestion window collapsed to zero or escaped to infinity",
             cwnd_bytes=state["cwnd_bytes"],
+        )
+        pacing_rate = state.get("pacing_rate_bps")
+        check(
+            "transport-cc-bounds", entity,
+            pacing_rate is None
+            or (pacing_rate > 0 and math.isfinite(pacing_rate)),
+            "pacing rate is zero, negative, or non-finite",
+            pacing_rate_bps=pacing_rate,
         )
         check(
             "transport-cc-bounds", entity,

@@ -125,6 +125,21 @@ def _kwargs_for(name: str, args: argparse.Namespace, runner: ParallelRunner) -> 
         # One outage length, shortened run: smoke-test scale.
         kwargs["outages"] = (1.0,)
         kwargs["duration"] = duration if duration is not None else 8.0
+    if name == "cc-matrix":
+        kwargs["duration"] = args.duration if args.duration is not None else (
+            2.5 if args.quick else 10.0
+        )
+        if args.quick:
+            # Headline CCAs only: 6 pairs instead of 21 per preset/policy.
+            from repro.experiments.cc_matrix import QUICK_CCAS
+
+            kwargs["ccas"] = QUICK_CCAS
+    if name == "ablate":
+        # Quick keeps the full 8 s duration: the fault scenarios need their
+        # cycles to play out for the deltas to be meaningful, and the whole
+        # grid is only 30 short units.
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
     if name == "fleet":
         if args.duration is not None:
             kwargs["duration"] = args.duration

@@ -18,6 +18,8 @@ Each experiment is a function returning an
 | ab-mp    | §4 multipath subflow design    | :func:`run_multipath_ablation` |
 | faults   | §3.2 outage resilience sweep   | :func:`run_faults`        |
 | fleet    | §4 fleet-scale multi-tenancy   | :func:`run_fleet`         |
+| cc-matrix| CCA coexistence fairness matrix| :func:`run_cc_matrix`     |
+| ablate   | component-importance ranking   | :func:`run_ablation_harness` |
 """
 
 from repro.experiments.fig1 import run_fig1a, run_fig1b
@@ -33,7 +35,9 @@ from repro.experiments.ablations import (
     run_resequencer_ablation,
     run_tsn_ablation,
 )
+from repro.experiments.ablation_harness import run_ablation_harness
 from repro.experiments.baselines import run_baselines
+from repro.experiments.cc_matrix import run_cc_matrix
 from repro.experiments.fleet import run_fleet
 from repro.experiments.sensitivity import (
     run_decode_wait_sweep,
@@ -57,6 +61,8 @@ EXPERIMENTS = {
     "faults": run_faults,
     "fleet": run_fleet,
     "baselines": run_baselines,
+    "cc-matrix": run_cc_matrix,
+    "ablate": run_ablation_harness,
     "sweep-urllc-bw": run_urllc_bandwidth_sweep,
     "sweep-threshold": run_threshold_sweep,
     "sweep-urllc-rtt": run_urllc_rtt_sweep,
@@ -76,7 +82,9 @@ __all__ = [
     "run_multipath_ablation",
     "run_resequencer_ablation",
     "run_tsn_ablation",
+    "run_ablation_harness",
     "run_baselines",
+    "run_cc_matrix",
     "run_faults",
     "run_fleet",
     "run_urllc_bandwidth_sweep",

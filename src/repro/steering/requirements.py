@@ -69,9 +69,23 @@ class RequirementClass:
     def flow_priority(self) -> int:
         return FLOW_PRIORITIES[self.intent_category]
 
-    def choose(self, traits: Sequence[ChannelTraits]) -> ChannelTraits:
-        """Best up channel for this class; raises when none is up."""
+    def choose(
+        self,
+        traits: Sequence[ChannelTraits],
+        preferred: Optional[Sequence[int]] = None,
+    ) -> ChannelTraits:
+        """Best up channel for this class; raises when none is up.
+
+        ``preferred`` restricts the choice to those channel indices (an
+        operator pin, e.g. "deadline traffic stays off LEO"). It must be
+        validated non-empty by the caller — see
+        :func:`validate_preferred_channels` — so an empty set can never
+        silently degrade to "first channel wins".
+        """
         alive = [t for t in traits if t.up]
+        if preferred is not None:
+            allowed = set(preferred)
+            alive = [t for t in alive if t.index in allowed]
         if not alive:
             raise SteeringError("no channel is up")
         return min(alive, key=self.rank)
@@ -125,6 +139,33 @@ def requirement_class(name: str) -> RequirementClass:
         raise SteeringError(
             f"unknown requirement class {name!r}; known: {known}"
         ) from None
+
+
+def validate_preferred_channels(
+    preferred: Optional[Dict[str, Sequence[int]]]
+) -> Dict[str, Tuple[int, ...]]:
+    """Validate a class-name -> preferred-channel-indices mapping.
+
+    Rejects unknown class names and — the config hazard this guards —
+    a class whose preferred set is *empty*. Before this check, an empty
+    set fell through ranking and silently pinned the class to channel 0,
+    which is exactly the misconfiguration (background traffic squatting
+    on URLLC) that §3.3 measures. The error names the offending class.
+    """
+    if not preferred:
+        return {}
+    validated: Dict[str, Tuple[int, ...]] = {}
+    for class_name, indices in preferred.items():
+        requirement_class(class_name)  # unknown names raise here
+        channels = tuple(indices)
+        if not channels:
+            raise SteeringError(
+                f"requirement class {class_name!r} has an empty preferred "
+                "channel set; list at least one channel index or omit the "
+                "class to allow all channels"
+            )
+        validated[class_name] = channels
+    return validated
 
 
 def traits_of_channels(channels) -> List[ChannelTraits]:
@@ -188,9 +229,14 @@ class RequirementPinnedSteerer(Steerer):
         self,
         flow_classes: Optional[Dict[int, str]] = None,
         default_class: str = "throughput",
+        preferred_channels: Optional[Dict[str, Sequence[int]]] = None,
     ) -> None:
         self.flow_classes = dict(flow_classes or {})
         self.default_class = requirement_class(default_class).name
+        #: Optional operator pins: class name -> allowed channel indices.
+        #: Validated eagerly — an empty set is a config error, not a
+        #: silent fall-through to channel 0.
+        self.preferred_channels = validate_preferred_channels(preferred_channels)
         self._pins: Dict[int, int] = {}
 
     def assign(self, flow_id: int, class_name: str) -> None:
@@ -208,25 +254,35 @@ class RequirementPinnedSteerer(Steerer):
         rclass = requirement_class(
             self.flow_classes.get(packet.flow_id, self.default_class)
         )
-        chosen = rclass.choose(traits_of_views(views)).index
+        chosen = rclass.choose(
+            traits_of_views(views),
+            preferred=self.preferred_channels.get(rclass.name),
+        ).index
         self._pins[packet.flow_id] = chosen
         return (chosen,)
 
 
 def assignment_table(
-    classes: Sequence[str], channels
+    classes: Sequence[str],
+    channels,
+    preferred: Optional[Dict[str, Sequence[int]]] = None,
 ) -> Dict[str, Optional[int]]:
     """class name -> chosen channel index for the current up-set.
 
     ``None`` when no channel is up (total blackout): tenants hold their
-    bytes and make no progress until a channel returns.
+    bytes and make no progress until a channel returns. ``preferred``
+    optionally restricts classes to channel subsets; an empty subset is a
+    config error (raised, with the class name) — not a silent fallback.
     """
+    pins = validate_preferred_channels(preferred)
     traits = traits_of_channels(channels)
     table: Dict[str, Optional[int]] = {}
     for name in classes:
         rclass = requirement_class(name)
         try:
-            table[name] = rclass.choose(traits).index
+            table[name] = rclass.choose(
+                traits, preferred=pins.get(rclass.name)
+            ).index
         except SteeringError:
             table[name] = None
     return table

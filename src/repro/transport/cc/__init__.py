@@ -15,18 +15,38 @@ from repro.transport.cc.base import AckSample, CongestionControl
 from repro.transport.cc.reno import Reno
 from repro.transport.cc.cubic import Cubic
 from repro.transport.cc.bbr import Bbr
+from repro.transport.cc.bbr2 import Bbr2
 from repro.transport.cc.copa import Copa
+from repro.transport.cc.requirement import RequirementCC, requirement_cc_kwargs
 from repro.transport.cc.vegas import Vegas
 from repro.transport.cc.vivace import Vivace
 from repro.transport.cc.hvc_aware import HvcAware
+
+
+def _bbr2_plus(mss: int = 1460, **kwargs) -> Bbr2:
+    return Bbr2(mss=mss, delay_aware=True, **kwargs)
+
+
+def _req(class_name: str) -> Callable[..., CongestionControl]:
+    def factory(mss: int = 1460, **kwargs) -> RequirementCC:
+        return RequirementCC(class_name, mss=mss, **kwargs)
+
+    return factory
+
 
 _REGISTRY: Dict[str, Callable[..., CongestionControl]] = {
     "reno": Reno,
     "cubic": Cubic,
     "bbr": Bbr,
+    "bbr2": Bbr2,
+    "bbr2+": _bbr2_plus,
     "copa": Copa,
     "vegas": Vegas,
     "vivace": Vivace,
+    "req-latency": _req("latency"),
+    "req-throughput": _req("throughput"),
+    "req-deadline": _req("deadline"),
+    "req-background": _req("background"),
 }
 
 
@@ -64,9 +84,12 @@ __all__ = [
     "Reno",
     "Cubic",
     "Bbr",
+    "Bbr2",
     "Copa",
     "Vegas",
     "Vivace",
+    "RequirementCC",
+    "requirement_cc_kwargs",
     "HvcAware",
     "make_cc",
     "list_ccs",

@@ -55,6 +55,12 @@ class CongestionControl:
     def on_loss(self, now: float, in_flight: int) -> None:
         """Loss inferred via duplicate ACKs / SACK (fast-retransmit class)."""
 
+    def on_lost(self, now: float, lost_bytes: int, in_flight: int) -> None:
+        """Bytes newly declared lost. Unlike :meth:`on_loss` (at most once
+        per recovery window), this fires for every loss-detection batch with
+        the byte count, so rate-based controllers can track per-round loss
+        rates (BBRv2's 2% PROBE_UP cap)."""
+
     def on_timeout(self, now: float) -> None:
         """A retransmission timeout fired (severe congestion signal)."""
 

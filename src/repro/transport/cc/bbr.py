@@ -16,10 +16,10 @@ That emergent failure is the point of the reproduction.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Optional
 
 from repro.transport.cc.base import AckSample, CongestionControl, INITIAL_WINDOW_SEGMENTS
+from repro.transport.cc.windowed import WindowedMax
 
 STARTUP_GAIN = 2.885  # 2/ln(2)
 DRAIN_GAIN = 1.0 / STARTUP_GAIN
@@ -45,8 +45,8 @@ class Bbr(CongestionControl):
         super().__init__(mss)
         self.state = self.STARTUP
         # Bandwidth filter: (round, bytes_per_second) samples, max over the
-        # last BTLBW_WINDOW_ROUNDS rounds.
-        self._bw_samples: Deque[Tuple[int, float]] = deque()
+        # last BTLBW_WINDOW_ROUNDS rounds (monotonic deque, O(1) queries).
+        self._bw_samples = WindowedMax()
         self._round = 0
         self._round_delivered_target = 0
         # RTT filter: (time, rtt) minima within MIN_RTT_WINDOW.
@@ -63,7 +63,7 @@ class Bbr(CongestionControl):
         # to cwnd so throughput does not collapse to the BDP estimate.
         self._extra_acked_start = 0.0
         self._extra_acked_delivered = 0
-        self._extra_acked_samples: Deque[Tuple[int, float]] = deque()
+        self._extra_acked_samples = WindowedMax()
         # PROBE_BW gain cycling.
         self._cycle_index = 0
         self._cycle_stamp = 0.0
@@ -78,9 +78,7 @@ class Bbr(CongestionControl):
     @property
     def btlbw_bytes_per_s(self) -> float:
         """Current bottleneck-bandwidth estimate (bytes/s); 0 if unknown."""
-        if not self._bw_samples:
-            return 0.0
-        return max(rate for _, rate in self._bw_samples)
+        return self._bw_samples.value
 
     @property
     def min_rtt(self) -> Optional[float]:
@@ -98,10 +96,8 @@ class Bbr(CongestionControl):
             self._round_delivered_target = sample.total_delivered + max(
                 self._in_flight, self.mss
             )
-        self._bw_samples.append((self._round, rate_bytes))
-        horizon = self._round - BTLBW_WINDOW_ROUNDS
-        while self._bw_samples and self._bw_samples[0][0] < horizon:
-            self._bw_samples.popleft()
+        self._bw_samples.push(self._round, rate_bytes)
+        self._bw_samples.evict(self._round - BTLBW_WINDOW_ROUNDS)
 
     def _update_min_rtt(self, sample: AckSample) -> None:
         if sample.rtt is None:
@@ -153,16 +149,12 @@ class Bbr(CongestionControl):
             self._extra_acked_start = sample.now
             self._extra_acked_delivered = sample.newly_acked
             extra = max(0.0, float(sample.newly_acked))
-        self._extra_acked_samples.append((self._round, extra))
-        horizon = self._round - BTLBW_WINDOW_ROUNDS
-        while self._extra_acked_samples and self._extra_acked_samples[0][0] < horizon:
-            self._extra_acked_samples.popleft()
+        self._extra_acked_samples.push(self._round, extra)
+        self._extra_acked_samples.evict(self._round - BTLBW_WINDOW_ROUNDS)
 
     @property
     def extra_acked_bytes(self) -> float:
-        if not self._extra_acked_samples:
-            return 0.0
-        return max(extra for _, extra in self._extra_acked_samples)
+        return self._extra_acked_samples.value
 
     def on_ack(self, sample: AckSample) -> None:
         self._in_flight = sample.in_flight

@@ -83,6 +83,9 @@ class HvcAware(CongestionControl):
     def on_loss(self, now: float, in_flight: int) -> None:
         self.base.on_loss(now, in_flight)
 
+    def on_lost(self, now: float, lost_bytes: int, in_flight: int) -> None:
+        self.base.on_lost(now, lost_bytes, in_flight)
+
     def on_timeout(self, now: float) -> None:
         self.base.on_timeout(now)
 

@@ -1,0 +1,200 @@
+"""Requirement-class congestion control (Hercules, arXiv:2403.00590).
+
+Hercules maps *what a flow needs* — not which algorithm its developer
+happened to pick — onto transmission behaviour. The four classes of
+:mod:`repro.steering.requirements` each get congestion "manners" to
+match their channel preference:
+
+* ``req-latency``     — delay-budget window: cwnd tracks the estimated
+  BDP plus a small queueing allowance, so interactive RPCs never build
+  deep queues; multiplicative backoff on loss.
+* ``req-throughput``  — bulk transfers want the pipe full; delegates to
+  CUBIC (the throughput-seeking default the fleet already runs).
+* ``req-deadline``    — steady AIMD that grows faster than Reno (2
+  segments/RTT) and is deliberately delay-blind: a deadline flow on the
+  reliable channel pushes through queueing rather than yielding.
+* ``req-background``  — LEDBAT-style scavenger: proportional decrease as
+  queueing delay approaches a 25 ms target, halve on loss, tiny floor —
+  it vacates the moment a foreground flow wants the capacity.
+
+Each class also carries the HVC steering intent of its
+:class:`~repro.steering.requirements.RequirementClass` so opening a
+connection with ``requirement_cc_kwargs("latency")`` yields both the
+controller *and* the flow priority the steering layer interprets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.transport.cc.base import AckSample, CongestionControl, INITIAL_WINDOW_SEGMENTS
+from repro.transport.cc.cubic import Cubic
+
+#: Queueing allowance for the latency class (seconds on top of min RTT).
+LATENCY_BUDGET = 0.005
+#: LEDBAT-style queueing-delay target for the background class (seconds).
+BACKGROUND_TARGET = 0.025
+#: Background proportional-controller gain (fraction of cwnd adjusted per
+#: ACK at full target error).
+BACKGROUND_GAIN = 0.1
+MIN_SEGMENTS = 2
+
+
+class _EwmaBandwidth:
+    """Small shared helper: smoothed delivery-rate estimate in bytes/s."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def update(self, sample: AckSample) -> None:
+        if sample.delivery_rate is None:
+            return
+        rate = sample.delivery_rate / 8.0
+        if sample.app_limited and rate <= self.value:
+            return
+        if self.value <= 0.0:
+            self.value = rate
+        else:
+            self.value += 0.25 * (rate - self.value)
+
+
+class RequirementCC(CongestionControl):
+    """Congestion manners for one Hercules requirement class.
+
+    ``class_name`` is one of ``latency``/``throughput``/``deadline``/
+    ``background`` (validated against the steering catalogue).
+    """
+
+    def __init__(self, class_name: str, mss: int = 1460) -> None:
+        super().__init__(mss)
+        # Validate against the steering catalogue so cc and steering can
+        # never disagree about what classes exist.
+        from repro.steering.requirements import requirement_class
+
+        self.rclass = requirement_class(class_name)
+        self.class_name = self.rclass.name
+        self.name = f"req-{self.class_name}"
+
+        # Throughput delegates wholesale to CUBIC.
+        self._delegate: Optional[CongestionControl] = (
+            Cubic(mss=mss) if self.class_name == "throughput" else None
+        )
+
+        self._cwnd = float(INITIAL_WINDOW_SEGMENTS * mss)
+        self._min_rtt: Optional[float] = None
+        self._bw = _EwmaBandwidth()
+        self._recovery_until = 0.0
+        self._last_rtt: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def flow_priority(self) -> int:
+        """The steering intent priority of this class."""
+        return self.rclass.flow_priority
+
+    def _floor(self) -> float:
+        return float(MIN_SEGMENTS * self.mss)
+
+    def _bdp_bytes(self) -> float:
+        if self._bw.value <= 0 or self._min_rtt is None:
+            return float(INITIAL_WINDOW_SEGMENTS * self.mss)
+        return self._bw.value * self._min_rtt
+
+    # ------------------------------------------------------------------
+    def on_ack(self, sample: AckSample) -> None:
+        if self._delegate is not None:
+            self._delegate.on_ack(sample)
+            return
+        if sample.rtt is not None:
+            self._last_rtt = sample.rtt
+            if self._min_rtt is None or sample.rtt < self._min_rtt:
+                self._min_rtt = sample.rtt
+        self._bw.update(sample)
+
+        name = self.class_name
+        if name == "latency":
+            # Track BDP + a fixed delay budget; no blind growth beyond it.
+            if self._bw.value > 0 and self._min_rtt is not None:
+                target = self._bw.value * (self._min_rtt + LATENCY_BUDGET)
+                if self._cwnd < target:
+                    self._cwnd = min(
+                        target, self._cwnd + float(sample.newly_acked)
+                    )
+                else:
+                    self._cwnd = max(target, self._floor())
+            else:
+                self._cwnd += float(sample.newly_acked)
+        elif name == "deadline":
+            # 2 segments per RTT, delay-blind.
+            if self._cwnd > 0:
+                self._cwnd += 2.0 * self.mss * sample.newly_acked / self._cwnd
+        elif name == "background":
+            # LEDBAT: proportional control on queueing delay vs target.
+            if self._last_rtt is not None and self._min_rtt is not None:
+                queueing = self._last_rtt - self._min_rtt
+                error = (BACKGROUND_TARGET - queueing) / BACKGROUND_TARGET
+                self._cwnd += (
+                    BACKGROUND_GAIN
+                    * error
+                    * self.mss
+                    * sample.newly_acked
+                    / max(self._cwnd, float(self.mss))
+                )
+            else:
+                self._cwnd += float(sample.newly_acked)
+        self._cwnd = max(self._cwnd, self._floor())
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        if self._delegate is not None:
+            self._delegate.on_loss(now, in_flight)
+            return
+        if now < self._recovery_until:
+            return
+        self._recovery_until = now + (self._last_rtt or 0.1)
+        beta = {"latency": 0.7, "deadline": 0.7, "background": 0.5}[
+            self.class_name
+        ]
+        self._cwnd = max(self._cwnd * beta, self._floor())
+
+    def on_lost(self, now: float, lost_bytes: int, in_flight: int) -> None:
+        if self._delegate is not None:
+            self._delegate.on_lost(now, lost_bytes, in_flight)
+
+    def on_timeout(self, now: float) -> None:
+        if self._delegate is not None:
+            self._delegate.on_timeout(now)
+            return
+        self._cwnd = self._floor()
+        self._recovery_until = 0.0
+
+    def on_sent(self, now: float, size_bytes: int, in_flight: int) -> None:
+        if self._delegate is not None:
+            self._delegate.on_sent(now, size_bytes, in_flight)
+
+    # ------------------------------------------------------------------
+    @property
+    def cwnd_bytes(self) -> float:
+        if self._delegate is not None:
+            return self._delegate.cwnd_bytes
+        return self._cwnd
+
+    @property
+    def pacing_rate_bps(self) -> Optional[float]:
+        if self._delegate is not None:
+            return self._delegate.pacing_rate_bps
+        # Delay-sensitive classes pace to avoid self-inflicted bursts; the
+        # deadline class stays window-driven (bursts are fine on the
+        # reliable channel).
+        if self.class_name in ("latency", "background") and self._bw.value > 0:
+            headroom = 1.2 if self.class_name == "latency" else 1.0
+            return self._bw.value * 8.0 * headroom
+        return None
+
+
+def requirement_cc_kwargs(class_name: str, mss: int = 1460) -> Dict[str, Any]:
+    """Connection kwargs for a requirement-class flow: the controller plus
+    the flow priority its steering intent implies."""
+    cc = RequirementCC(class_name, mss=mss)
+    return {"cc": cc, "flow_priority": cc.flow_priority, "mss": mss}

@@ -1,0 +1,55 @@
+"""O(1)-amortized windowed-maximum filter for rate samples.
+
+BBR-family controllers keep a windowed max of delivery-rate samples (and
+of ACK-aggregation excess). A naive ``max()`` over a deque of every
+sample in the window is O(window) per query — and the window holds one
+sample per ACK per round, so at WAN BDPs (hundreds of segments in
+flight) the per-ACK cost blows up quadratically. The classic monotonic
+deque gives amortized O(1) pushes, evictions and queries with identical
+semantics: entries are kept strictly decreasing in value, the front is
+always the window maximum, and a new sample pops every older entry it
+dominates (those could never become the maximum again).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class WindowedMax:
+    """Maximum of ``(tick, value)`` samples with ``tick >= horizon``.
+
+    ``tick`` must be non-decreasing across pushes (BBR uses the round
+    count). ``evict(horizon)`` drops samples older than the window;
+    ``value`` reads the current maximum (0.0 when empty).
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: Deque[Tuple[int, float]] = deque()
+
+    def push(self, tick: int, value: float) -> None:
+        samples = self._samples
+        while samples and samples[-1][1] <= value:
+            samples.pop()
+        samples.append((tick, value))
+
+    def evict(self, horizon: int) -> None:
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    @property
+    def value(self) -> float:
+        return self._samples[0][1] if self._samples else 0.0
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)

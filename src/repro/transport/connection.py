@@ -149,6 +149,9 @@ class Connection:
         on_message: Optional[Callable[[MessageReceipt], None]] = None,
         ack_bytes: int = 0,
         tenant_id: Optional[int] = None,
+        sack: bool = True,
+        pacing: bool = True,
+        blackout_suppression: bool = True,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -165,6 +168,12 @@ class Connection:
         #: Payload bytes a pure ACK carries (0 = genuinely pure). Setting
         #: this >0 models "data tacked onto the ACK" (§3.2 discussion).
         self.ack_bytes = ack_bytes
+        #: Component switches for the ablation harness. Off means: ACKs
+        #: carry no SACK ranges / the pacer never gates a send / RTOs
+        #: during total blackout take the normal timeout path.
+        self.sack_enabled = sack
+        self.pacing_enabled = pacing
+        self.blackout_suppression = blackout_suppression
         self.stats = ConnectionStats()
         #: Transport probe (:class:`repro.obs.ConnectionProbe`), attached
         #: automatically when the device is wired into an observability
@@ -331,6 +340,9 @@ class Connection:
             "rcv_nxt": self._rcv_nxt,
             "ooo_ranges": list(self._ooo_ranges),
             "cwnd_bytes": self.cc.cwnd_bytes,
+            "pacing_rate_bps": (
+                self.cc.pacing_rate_bps if self.pacing_enabled else None
+            ),
             "rto": self.rtt.rto,
             "min_rto": self.rtt.min_rto,
             "max_rto": self.rtt.max_rto,
@@ -393,6 +405,8 @@ class Connection:
 
     def _pacing_gate(self) -> bool:
         """True if sending must wait for the pacer; schedules the wake-up."""
+        if not self.pacing_enabled:
+            return False
         if self.cc.pacing_rate_bps is None or self.sim.now >= self._next_send_time:
             return False
         if self._pacing_event is None:
@@ -406,6 +420,8 @@ class Connection:
         self._try_send()
 
     def _advance_pacer(self, size_bytes: int) -> None:
+        if not self.pacing_enabled:
+            return
         pacing_rate = self.cc.pacing_rate_bps
         if pacing_rate is not None and pacing_rate > 0:
             interval = (size_bytes + 40) * 8 / pacing_rate
@@ -518,7 +534,7 @@ class Connection:
             # used — sleep the remainder.
             self._rto_event = self.sim.schedule_at(deadline, self._on_rto)
             return
-        if not self.device.any_channel_up():
+        if self.blackout_suppression and not self.device.any_channel_up():
             # Total blackout: the timeout measured the outage, not
             # congestion. Don't collapse cwnd, don't waste a retransmission
             # the device would drop anyway — just back the timer off and
@@ -655,7 +671,9 @@ class Connection:
     def _send_ack(self, data_packet: Packet) -> None:
         ack = self._make_packet(PacketType.ACK, payload=self.ack_bytes)
         ack.ack_seq = self._rcv_nxt
-        ack.sack = tuple(self._ooo_ranges[-MAX_SACK_RANGES:])
+        ack.sack = (
+            tuple(self._ooo_ranges[-MAX_SACK_RANGES:]) if self.sack_enabled else ()
+        )
         # Echo which channel the data took, for HVC-aware CC attribution.
         ack.seq = data_packet.seq
         ack.segment = data_packet.segment
@@ -907,6 +925,11 @@ class Connection:
                 self._dup_acks = 0
         if newly_lost:
             self._retx_queue.extend(newly_lost)
+            self.cc.on_lost(
+                self.sim.now,
+                sum(s.size for s in newly_lost),
+                self._flight_bytes,
+            )
             if self._recovery_end is None:
                 # One congestion response per window of loss.
                 self._recovery_end = self._snd_nxt

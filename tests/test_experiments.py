@@ -24,6 +24,8 @@ class TestRegistry:
             "ab-reseq",
             "ab-tsn",
             "baselines",
+            "cc-matrix",
+            "ablate",
             "faults",
             "fleet",
             "sweep-urllc-bw",

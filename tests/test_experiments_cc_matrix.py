@@ -1,0 +1,148 @@
+"""cc-matrix experiment tests: metrics, golden shapes, warm-cache replay.
+
+The golden-shape class pins the experiment's headline claim at reduced
+scale (duration 2.5 s, seed 0): on the WAN preset BBRv2+ coexists with
+CUBIC measurably better than BBRv1 does, under both steering policies.
+Margins were calibrated against the seeded run; the simulator is
+deterministic, so these are exact-repeatability pins, not noise windows.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments.cc_matrix import (
+    POLICIES,
+    PRESETS,
+    QUICK_CCAS,
+    jain_index,
+    matrix_cells,
+    pair_unit,
+    preset_specs,
+    rtt_unfairness,
+    run_cc_matrix,
+)
+from repro.runner import ParallelRunner, ResultCache
+
+
+class TestMetrics:
+    def test_jain_index_bounds(self):
+        assert jain_index((10.0, 10.0)) == pytest.approx(1.0)
+        assert jain_index((10.0, 0.0)) == pytest.approx(0.5)
+        assert jain_index((5.0,)) == pytest.approx(1.0)
+        assert jain_index((0.0, 0.0)) == pytest.approx(1.0)  # vacuously fair
+        assert 0.5 < jain_index((10.0, 5.0)) < 1.0
+
+    def test_rtt_unfairness(self):
+        assert rtt_unfairness(50.0, 25.0) == pytest.approx(2.0)
+        assert rtt_unfairness(25.0, 50.0) == pytest.approx(2.0)
+        assert rtt_unfairness(None, 50.0) is None
+        assert rtt_unfairness(50.0, None) is None
+        assert rtt_unfairness(0.0, 50.0) is None
+
+
+class TestCells:
+    def test_full_matrix_dimensions(self):
+        cells = matrix_cells()
+        # 6 CCAs -> 21 unordered pairs, x 3 presets x 2 policies.
+        assert len(cells) == 21 * len(PRESETS) * len(POLICIES)
+
+    def test_quick_matrix_dimensions(self):
+        cells = matrix_cells(ccas=QUICK_CCAS)
+        assert len(cells) == 6 * len(PRESETS) * len(POLICIES)
+
+    def test_pairs_are_unordered(self):
+        cells = matrix_cells(ccas=("a", "b"), presets=("paper",), policies=("dchannel",))
+        pairs = {(a, b) for _, _, a, b in cells}
+        assert pairs == {("a", "a"), ("a", "b"), ("b", "b")}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ExperimentError):
+            preset_specs("dialup")
+
+
+class TestPairUnit:
+    def test_paper_preset_smoke(self):
+        payload = pair_unit(
+            cc_a="cubic", cc_b="bbr", preset="paper", steering="dchannel",
+            duration=1.5, seed=0,
+        )
+        assert payload["mbps_a"] > 0 and payload["mbps_b"] > 0
+        assert payload["rtt_a_ms"] > 0 and payload["rtt_b_ms"] > 0
+        assert payload["events"] > 0
+
+
+@pytest.fixture(scope="module")
+def wan_jains():
+    """Jain index per (policy, versus-cubic CCA) on the WAN preset."""
+    out = {}
+    for policy in POLICIES:
+        for cc in ("bbr", "bbr2+"):
+            payload = pair_unit(
+                cc_a=cc, cc_b="cubic", preset="wan", steering=policy,
+                duration=2.5, seed=0,
+            )
+            out[(policy, cc)] = jain_index(
+                (payload["mbps_a"], payload["mbps_b"])
+            )
+    return out
+
+
+class TestGoldenShapes:
+    """WAN preset: v2+'s loss-capped, delay-aware probing shares with
+    CUBIC where v1's loss-blind PROBE_BW does not."""
+
+    def test_v2_plus_fairer_than_v1_under_min_rtt(self, wan_jains):
+        assert wan_jains[("min-rtt", "bbr2+")] > wan_jains[("min-rtt", "bbr")] + 0.1, wan_jains
+
+    def test_v2_plus_fairer_than_v1_under_dchannel(self, wan_jains):
+        assert wan_jains[("dchannel", "bbr2+")] > wan_jains[("dchannel", "bbr")], wan_jains
+
+    def test_v2_plus_reaches_working_fairness(self, wan_jains):
+        # v1 vs cubic collapses toward one-hog territory on min-rtt;
+        # v2+ stays in the sharing regime.
+        assert wan_jains[("min-rtt", "bbr2+")] > 0.75, wan_jains
+        assert wan_jains[("min-rtt", "bbr")] < 0.75, wan_jains
+
+
+class TestAggregation:
+    def test_result_values_and_notes(self, tmp_path):
+        runner = ParallelRunner(cache=ResultCache(tmp_path))
+        result = run_cc_matrix(
+            duration=1.0, ccas=("cubic", "bbr", "bbr2+"),
+            presets=("paper",), policies=("dchannel",),
+            seed=0, runner=runner,
+        )
+        assert result.values["paper/dchannel/cubic|bbr/jain"] > 0
+        assert "paper/dchannel/mean_jain" in result.values
+        share = result.values["paper/dchannel/cubic|bbr/share_a"]
+        assert 0.0 <= share <= 1.0
+        # The v1-vs-v2 headline note is emitted when both CCAs are present.
+        assert any("bbr2+ vs cubic" in note for note in result.notes)
+
+    def test_warm_cache_replay_is_byte_identical(self, tmp_path):
+        kwargs = dict(
+            duration=1.0, ccas=("cubic", "bbr2+"),
+            presets=("paper",), policies=("dchannel",), seed=0,
+        )
+        cold_runner = ParallelRunner(cache=ResultCache(tmp_path))
+        cold = run_cc_matrix(runner=cold_runner, **kwargs)
+        assert cold_runner.executed == 3 and cold_runner.cache_hits == 0
+        warm_runner = ParallelRunner(cache=ResultCache(tmp_path))
+        warm = run_cc_matrix(runner=warm_runner, **kwargs)
+        assert warm_runner.executed == 0 and warm_runner.cache_hits == 3
+        assert warm.render() == cold.render()
+        assert warm.values == cold.values
+
+
+class TestCli:
+    def test_quick_flag_restricts_to_headline_ccas(self, capsys, tmp_path):
+        assert main([
+            "cc-matrix", "--quick", "--duration", "0.5",
+            "--cache-dir", str(tmp_path), "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cc-matrix" in out
+        assert "bbr2+ vs cubic" in out
+        # QUICK_CCAS wiring: the slow tail of the full matrix is skipped.
+        assert "reno" not in out and "vegas" not in out

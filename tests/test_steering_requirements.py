@@ -1,0 +1,148 @@
+"""Requirement-class steering: operator pins and the requirement CCs.
+
+The empty-preferred-set guard exists because an empty pin used to fall
+through ranking and silently land the class on channel 0 — the exact
+URLLC-squatting misconfiguration §3.3 measures. These tests pin the
+validated error (with the class name in the message) at every entry
+point that accepts pins, plus the requirement-class congestion
+controllers' registry wiring and per-class manners.
+"""
+
+import pytest
+
+from repro.errors import SteeringError
+from repro.steering.requirements import (
+    ChannelTraits,
+    REQUIREMENT_CLASSES,
+    RequirementPinnedSteerer,
+    assignment_table,
+    requirement_class,
+    validate_preferred_channels,
+)
+from repro.transport.cc import make_cc, list_ccs
+from repro.transport.cc.base import AckSample
+from repro.transport.cc.requirement import RequirementCC, requirement_cc_kwargs
+from repro.transport.intents import FLOW_PRIORITIES
+from repro.units import mbps, ms
+
+from tests.test_steering import data_pkt, embb, urllc
+
+
+def traits(index=0, up=True, base_rtt=ms(50), capacity=mbps(60),
+           cost=0.0, reliable=False):
+    return ChannelTraits(
+        index=index, up=up, base_rtt=base_rtt, capacity_bps=capacity,
+        cost_per_byte=cost, reliable=reliable,
+    )
+
+
+class TestPreferredChannelValidation:
+    def test_empty_set_is_a_config_error_naming_the_class(self):
+        with pytest.raises(SteeringError, match="'background'.*empty preferred"):
+            validate_preferred_channels({"background": ()})
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SteeringError, match="unknown requirement class"):
+            validate_preferred_channels({"best-effort": (0,)})
+
+    def test_valid_pins_normalized_to_tuples(self):
+        validated = validate_preferred_channels({"latency": [1, 0]})
+        assert validated == {"latency": (1, 0)}
+
+    def test_none_and_empty_mapping_mean_no_pins(self):
+        assert validate_preferred_channels(None) == {}
+        assert validate_preferred_channels({}) == {}
+
+    def test_steerer_validates_eagerly(self):
+        with pytest.raises(SteeringError, match="'deadline'"):
+            RequirementPinnedSteerer(preferred_channels={"deadline": []})
+
+    def test_assignment_table_rejects_empty_pin(self):
+        with pytest.raises(SteeringError, match="'latency'"):
+            assignment_table(
+                ["latency"], channels=[], preferred={"latency": ()}
+            )
+
+
+class TestChoiceWithPins:
+    def test_pin_restricts_choice(self):
+        # Latency ranks the low-RTT channel first; pinning it to channel 0
+        # overrides that preference.
+        both = [
+            traits(0, base_rtt=ms(50), capacity=mbps(60)),
+            traits(1, base_rtt=ms(5), capacity=mbps(2)),
+        ]
+        rclass = requirement_class("latency")
+        assert rclass.choose(both).index == 1
+        assert rclass.choose(both, preferred=(0,)).index == 0
+
+    def test_pin_to_down_channel_raises(self):
+        views = [traits(0, up=False), traits(1, base_rtt=ms(5))]
+        with pytest.raises(SteeringError, match="no channel is up"):
+            requirement_class("latency").choose(views, preferred=(0,))
+
+    def test_pinned_steerer_steers_to_pin(self):
+        steerer = RequirementPinnedSteerer(
+            flow_classes={1: "latency"},
+            preferred_channels={"latency": (0,)},
+        )
+        assert steerer.choose(data_pkt(), [embb(), urllc()], 0.0) == (0,)
+
+
+class TestRequirementCcRegistry:
+    def test_all_classes_registered(self):
+        names = list_ccs()
+        for cls in REQUIREMENT_CLASSES:
+            assert f"req-{cls}" in names
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SteeringError):
+            RequirementCC("best-effort")
+
+    def test_kwargs_map_intent_priority(self):
+        for cls, rclass in REQUIREMENT_CLASSES.items():
+            kwargs = requirement_cc_kwargs(cls)
+            assert kwargs["flow_priority"] == FLOW_PRIORITIES[rclass.intent_category]
+            assert kwargs["cc"].class_name == cls
+
+    def test_factory_builds_requirement_cc(self):
+        cc = make_cc("req-background")
+        assert isinstance(cc, RequirementCC)
+        assert cc.class_name == "background"
+
+
+class TestRequirementCcManners:
+    def _prime(self, cc, rtt=0.05, rate_bps=8_000_000.0, acks=20):
+        now, total = 0.0, 0
+        for _ in range(acks):
+            now += rtt
+            total += cc.mss
+            cc.on_ack(AckSample(
+                now=now, rtt=rtt, newly_acked=cc.mss, in_flight=10 * cc.mss,
+                delivery_rate=rate_bps, total_delivered=total,
+            ))
+        return now
+
+    def test_latency_class_holds_cwnd_near_budgeted_bdp(self):
+        cc = RequirementCC("latency")
+        self._prime(cc)
+        bw = 8_000_000.0 / 8.0
+        assert cc.cwnd_bytes <= bw * (0.05 + 0.005) + 2 * cc.mss
+
+    def test_background_backs_off_harder_than_deadline(self):
+        outcomes = {}
+        for cls in ("deadline", "background"):
+            cc = RequirementCC(cls)
+            now = self._prime(cc)
+            before = cc.cwnd_bytes
+            cc.on_loss(now, in_flight=int(before))
+            outcomes[cls] = cc.cwnd_bytes / before
+        assert outcomes["background"] < outcomes["deadline"]
+
+    def test_cwnd_never_collapses_below_floor(self):
+        cc = RequirementCC("background")
+        now = self._prime(cc)
+        for i in range(10):
+            cc.on_loss(now + i, in_flight=int(cc.cwnd_bytes))
+            cc.on_timeout(now + i + 0.5)
+        assert cc.cwnd_bytes >= 2 * cc.mss
