@@ -249,6 +249,30 @@ def workload_cc_matrix(quick: bool = False) -> Dict[str, Any]:
     return record
 
 
+def _run_resilience_cell(duration: float) -> Dict[str, Any]:
+    from repro.experiments.resilience import regime_rows, resilience_unit
+
+    # One packet cell of the recovery-SLO scorecard: the scripted handover
+    # blackout on dchannel steering. Exercises the fault injector, the
+    # per-flow recovery tracker, and the SLO accounting end to end.
+    rows = regime_rows("handover", duration)
+    out = resilience_unit(
+        regime="handover", steering="dchannel", cc="cubic",
+        fault_rows=rows, duration=duration,
+    )
+    return {"events": out["events"], "failovers": out["failovers"]}
+
+
+def workload_resilience(quick: bool = False) -> Dict[str, Any]:
+    """Recovery-SLO scorecard cell: handover blackout, dchannel failover."""
+    duration = 3.0 if quick else 8.0
+    out, wall = _timed_best(lambda: _run_resilience_cell(duration))
+    record = _finalize(out["events"], wall)
+    record["failovers"] = out["failovers"]
+    record.update(_alloc_pass(lambda: _run_resilience_cell(duration)))
+    return record
+
+
 def _finalize(events: int, wall: float) -> Dict[str, Any]:
     return {
         "events": events,
@@ -274,6 +298,7 @@ WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "fig1a": workload_fig1a,
     "fleet": workload_fleet,
     "cc_matrix": workload_cc_matrix,
+    "resilience": workload_resilience,
 }
 
 

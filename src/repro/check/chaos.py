@@ -62,6 +62,18 @@ CCAS = (
     "hvc-reno", "hvc-cubic", "hvc-bbr", "hvc-bbr2+",
 )
 
+#: Trace presets a scenario can derive its fault schedule from instead of
+#: drawing a random one (see :meth:`FaultSchedule.from_trace`). Derivation
+#: happens at draw time; the resulting primitive rows ride in
+#: ``scenario["fault_rows"]`` so bundles replay without re-deriving.
+TRACE_FAULT_SOURCES = ("starlink-leo", "wifi-5g-handoff")
+
+#: Trace window used when deriving chaos fault schedules. Both presets
+#: place their first disruption around t=3-4s, so a 6 s window yields a
+#: non-trivial schedule; ``run_scenario`` already extends the run past the
+#: schedule horizon, whatever the scenario's nominal duration.
+TRACE_FAULT_DURATION = 6.0
+
 #: Default campaign scale (the acceptance bar runs >= 200 scenarios).
 DEFAULT_SCENARIOS = 200
 DEFAULT_DURATION = 1.5
@@ -119,6 +131,12 @@ def random_scenario(
 ) -> dict:
     """Draw one scenario as a primitive, bundle-able dict.
 
+    A fifth of ordinary draws source their fault schedule from a trace
+    preset (``fault_source`` in :data:`TRACE_FAULT_SOURCES`) via
+    :meth:`FaultSchedule.from_trace` rather than from the random fault
+    generator — exercising exactly the disruption shapes real link traces
+    produce (handoff micro-outages, rate collapses, delay spikes).
+
     With ``seed_bug`` set the draw is biased toward configurations where
     the planted bug can actually express itself (the resequencer only
     drains when multi-channel reordering makes it hold packets).
@@ -139,24 +157,33 @@ def random_scenario(
     channels = PRESET_CHANNELS[preset]
     from repro.faults.schedule import FaultSchedule
 
-    schedule = FaultSchedule.random(
-        channels,
-        duration,
-        rng=rng,
-        outage_rate=rng.choice((0.0, 0.2, 0.5)),
-        outage_mean=0.2,
-        loss_burst_rate=rng.choice((0.0, 0.3)),
-        loss_burst_mean=0.3,
-        loss_burst_severity=rng.uniform(0.05, 0.4),
-        rtt_spike_rate=rng.choice((0.0, 0.3)),
-        rtt_spike_mean=0.25,
-        rtt_spike_delay=rng.uniform(0.01, 0.08),
-        blackout_rate=rng.choice((0.0, 0.0, 0.3)),
-        blackout_mean=0.15,
-        capacity_rate=rng.choice((0.0, 0.0, 0.3)),
-        capacity_mean=0.3,
-        capacity_factor=rng.uniform(0.1, 0.5),
-    )
+    fault_source = "random"
+    if seed_bug is None and rng.random() < 0.2:
+        fault_source = rng.choice(TRACE_FAULT_SOURCES)
+    if fault_source != "random":
+        from repro.traces.catalog import get_trace
+
+        trace = get_trace(fault_source, duration=TRACE_FAULT_DURATION)
+        schedule = FaultSchedule.from_trace(trace, channel=rng.choice(channels))
+    else:
+        schedule = FaultSchedule.random(
+            channels,
+            duration,
+            rng=rng,
+            outage_rate=rng.choice((0.0, 0.2, 0.5)),
+            outage_mean=0.2,
+            loss_burst_rate=rng.choice((0.0, 0.3)),
+            loss_burst_mean=0.3,
+            loss_burst_severity=rng.uniform(0.05, 0.4),
+            rtt_spike_rate=rng.choice((0.0, 0.3)),
+            rtt_spike_mean=0.25,
+            rtt_spike_delay=rng.uniform(0.01, 0.08),
+            blackout_rate=rng.choice((0.0, 0.0, 0.3)),
+            blackout_mean=0.15,
+            capacity_rate=rng.choice((0.0, 0.0, 0.3)),
+            capacity_mean=0.3,
+            capacity_factor=rng.uniform(0.1, 0.5),
+        )
     return {
         "index": index,
         "seed": rng.randrange(2**31),
@@ -167,6 +194,7 @@ def random_scenario(
         "resequence": resequence,
         "datagram_blackout": rng.choice(("drop", "buffer")),
         "duration": duration,
+        "fault_source": fault_source,
         "fault_rows": schedule.to_params(),
         "seed_bug": seed_bug,
     }

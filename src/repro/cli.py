@@ -125,6 +125,19 @@ def _kwargs_for(name: str, args: argparse.Namespace, runner: ParallelRunner) -> 
         # One outage length, shortened run: smoke-test scale.
         kwargs["outages"] = (1.0,)
         kwargs["duration"] = duration if duration is not None else 8.0
+    if name == "resilience":
+        # Quick keeps the full regime x policy x CCA grid (the scorecard's
+        # acceptance bar includes every cell) and the 10k-tenant fleet
+        # cells — only the simulated duration shrinks.
+        from repro.experiments.resilience import QUICK_DURATION
+
+        kwargs["duration"] = args.duration if args.duration is not None else (
+            QUICK_DURATION if args.quick else 20.0
+        )
+        if args.quick:
+            kwargs["fleet_duration"] = 6.0
+        if args.tenants is not None:
+            kwargs["fleet_tenants"] = args.tenants
     if name == "cc-matrix":
         kwargs["duration"] = args.duration if args.duration is not None else (
             2.5 if args.quick else 10.0

@@ -17,6 +17,7 @@ Each experiment is a function returning an
 | ab-cost  | §3.1 latency-vs-cost           | :func:`run_cost_ablation` |
 | ab-mp    | §4 multipath subflow design    | :func:`run_multipath_ablation` |
 | faults   | §3.2 outage resilience sweep   | :func:`run_faults`        |
+| resilience| recovery-SLO scorecard        | :func:`run_resilience`    |
 | fleet    | §4 fleet-scale multi-tenancy   | :func:`run_fleet`         |
 | cc-matrix| CCA coexistence fairness matrix| :func:`run_cc_matrix`     |
 | ablate   | component-importance ranking   | :func:`run_ablation_harness` |
@@ -39,6 +40,7 @@ from repro.experiments.ablation_harness import run_ablation_harness
 from repro.experiments.baselines import run_baselines
 from repro.experiments.cc_matrix import run_cc_matrix
 from repro.experiments.fleet import run_fleet
+from repro.experiments.resilience import run_resilience
 from repro.experiments.sensitivity import (
     run_decode_wait_sweep,
     run_threshold_sweep,
@@ -59,6 +61,7 @@ EXPERIMENTS = {
     "ab-reseq": run_resequencer_ablation,
     "ab-tsn": run_tsn_ablation,
     "faults": run_faults,
+    "resilience": run_resilience,
     "fleet": run_fleet,
     "baselines": run_baselines,
     "cc-matrix": run_cc_matrix,
@@ -87,6 +90,7 @@ __all__ = [
     "run_cc_matrix",
     "run_faults",
     "run_fleet",
+    "run_resilience",
     "run_urllc_bandwidth_sweep",
     "run_threshold_sweep",
     "run_urllc_rtt_sweep",

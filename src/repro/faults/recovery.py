@@ -24,9 +24,31 @@ Metric families (all labelled): ``faults.outages``, ``faults.downtime``
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ScenarioError
 from repro.net.packet import PacketType
+
+
+def recovery_percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of recovery samples (0.0 if empty).
+
+    Matches the trace model's percentile convention (rank over n-1 with
+    ``a + f*(b-a)`` interpolation, exact when neighbours are equal) so
+    scorecard and trace statistics read on the same scale.
+    """
+    if not 0 <= q <= 100:
+        raise ScenarioError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] + frac * (ordered[high] - ordered[low])
 
 
 class RecoveryTracker:
@@ -161,7 +183,16 @@ class RecoveryTracker:
             "recovery_mean_s": (
                 round(sum(recoveries) / len(recoveries), 9) if recoveries else 0.0
             ),
+            "recovery_p50_s": round(recovery_percentile(recoveries, 50.0), 9),
+            "recovery_p99_s": round(recovery_percentile(recoveries, 99.0), 9),
         }
+
+    def recovery_by_flow(self) -> Dict[int, List[float]]:
+        """Recovery samples grouped per flow id (for per-class SLO grading)."""
+        out: Dict[int, List[float]] = {}
+        for flow, _start, elapsed in self.recovery_samples:
+            out.setdefault(flow, []).append(elapsed)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

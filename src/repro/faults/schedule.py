@@ -28,9 +28,13 @@ experiments.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (traces ↔ faults)
+    from repro.traces.model import NetworkTrace
 
 from repro.errors import ScenarioError
 
@@ -161,6 +165,77 @@ class FaultSchedule:
     @classmethod
     def from_params(cls, rows: Iterable[Sequence]) -> "FaultSchedule":
         return cls(Fault(r[0], r[1], r[2], r[3], r[4]) for r in rows)
+
+    def to_json(self) -> str:
+        """Stable JSON form; :meth:`from_json` inverts it exactly."""
+        rows = [
+            {
+                "start": f.start,
+                "channel": f.channel,
+                "kind": f.kind,
+                "duration": f.duration,
+                "severity": f.severity,
+            }
+            for f in self.faults
+        ]
+        return json.dumps({"faults": rows}, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            payload = json.loads(text)
+            rows = payload["faults"]
+            faults = [
+                Fault(r["start"], r["channel"], r["kind"], r["duration"], r["severity"])
+                for r in rows
+            ]
+        except (ValueError, TypeError, KeyError) as exc:
+            raise ScenarioError(f"malformed fault-schedule JSON: {exc}") from exc
+        return cls(faults)
+
+    def clipped(self, horizon: float) -> "FaultSchedule":
+        """A new schedule keeping only faults fully reverted by ``horizon``.
+
+        Experiments with short (quick-mode) durations use this to avoid
+        arming faults whose revert events would land past the simulation
+        end and leave channels administratively down at teardown.
+        """
+        if horizon <= 0:
+            raise ScenarioError(f"clip horizon must be positive, got {horizon}")
+        return FaultSchedule(f for f in self.faults if f.end <= horizon)
+
+    # -- trace derivation ------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        trace: "NetworkTrace",
+        channel: Optional[str] = None,
+        dead_rate_bps: float = 0.0,
+        collapse_frac: float = 0.25,
+        delay_spike_factor: float = 3.0,
+        min_spike_s: float = 0.02,
+    ) -> "FaultSchedule":
+        """Derive a fault schedule from a trace's discontinuities.
+
+        Dead intervals (rate <= ``dead_rate_bps``) become ``outage`` faults
+        aligned exactly to the trace's sample grid; sustained rate collapses
+        below ``collapse_frac`` of the healthy median become ``capacity``
+        faults; delay excursions above ``delay_spike_factor`` times the
+        median one-way delay become ``rtt_spike`` faults. The schedule
+        targets ``channel`` (default: the trace's own name), so any catalog
+        trace doubles as a fault campaign against a same-named channel.
+        """
+        from repro.resilience.derive import schedule_from_trace
+
+        return schedule_from_trace(
+            trace,
+            channel=channel,
+            dead_rate_bps=dead_rate_bps,
+            collapse_frac=collapse_frac,
+            delay_spike_factor=delay_spike_factor,
+            min_spike_s=min_spike_s,
+            schedule_cls=cls,
+        )
 
     # -- random generation ----------------------------------------------
     @classmethod

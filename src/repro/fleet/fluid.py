@@ -172,6 +172,24 @@ class FluidBackground:
             self._beta = beta
             self._gain = gain
 
+        # Per-tenant stall bookkeeping: when a tenant's channel fails (or
+        # no channel is live at admission) it stalls until re-steered to a
+        # live channel; totals feed the resilience scorecard.
+        if self.backend == "numpy":
+            self._stalled_at = _np.full(n, _np.nan, dtype=_np.float64)
+        else:
+            self._stalled_at = [math.nan] * n
+        self.stall_events = 0
+        self.stall_time_total = 0.0
+        self.stall_events_by_class = {name: 0 for name in classes}
+        self.stall_time_by_class = {name: 0.0 for name in classes}
+        # React to Channel.fail()/restore() at event time, not tick time:
+        # a failed channel must shed its installed background load
+        # immediately (a micro-outage between ticks would otherwise be
+        # invisible and keep charging bytes through the dead window).
+        for ch in self.channels:
+            ch.on_transition.append(self._on_channel_transition)
+
         self._cursor = 0  # population is arrival-sorted
         self._last_time: Optional[float] = None
         self._last_busy = [ch.uplink.stats.busy_time for ch in self.channels]
@@ -201,6 +219,49 @@ class FluidBackground:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+
+    def _on_channel_transition(self, channel, up: bool, now: float) -> None:
+        """Event-time reaction to a channel up/down transition.
+
+        On *down* the installed background load is cleared at once and
+        every tenant on the channel is stalled with its rate zeroed; the
+        next tick re-steers them through the assignment table, entering
+        via the slow-start re-ramp (the same path fresh arrivals take).
+        On *up* nothing happens here — re-steering is tick-driven.
+        """
+        if up:
+            return
+        try:
+            idx = self.channels.index(channel)
+        except ValueError:  # pragma: no cover - foreign channel
+            return
+        channel.uplink.set_background_load(0.0)
+        channel.downlink.set_background_load(0.0)
+        self._last_avail[idx] = 0.0
+        if self.backend == "numpy":
+            on = self._active & (self._channel == idx)
+            if on.any():
+                self._rate[on] = 0.0
+                self._channel[on] = -2
+                fresh = on & _np.isnan(self._stalled_at)
+                self._stalled_at[fresh] = now
+        else:
+            for i in range(self._cursor):
+                if self._active[i] and self._channel[i] == idx:
+                    self._rate[i] = 0.0
+                    self._channel[i] = -2
+                    if math.isnan(self._stalled_at[i]):
+                        self._stalled_at[i] = now
+
+    def _close_stall(self, tenant: int, now: float) -> None:
+        """Record the end of one tenant's stall interval."""
+        duration = now - self._stalled_at[tenant]
+        self._stalled_at[tenant] = math.nan
+        name = self._class_names[self._class_id[tenant]]
+        self.stall_events += 1
+        self.stall_time_total += duration
+        self.stall_events_by_class[name] += 1
+        self.stall_time_by_class[name] += duration
 
     def _on_tick(self) -> None:
         self._event = None
@@ -298,6 +359,13 @@ class FluidBackground:
                 INITIAL_PACKETS * MSS_BITS / rtt_arr[wanted[ok]]
             )
             self._rate[idx[~ok]] = 0.0
+            # Stall accounting: re-steering to a live channel closes a
+            # stall; failing to find one opens it (total blackout).
+            st = self._stalled_at
+            for t in assigned[~np.isnan(st[assigned])]:
+                self._close_stall(int(t), now)
+            unassigned = idx[~ok]
+            st[unassigned[np.isnan(st[unassigned])]] = now
         live = act & (chan >= 0)
         if not live.any():
             return [0.0] * len(self.channels)
@@ -409,8 +477,12 @@ class FluidBackground:
                 c = table_idx[self._class_id[i]]
                 self._channel[i] = c
                 if c < 0:
+                    if math.isnan(self._stalled_at[i]):
+                        self._stalled_at[i] = now
                     self._rate[i] = 0.0
                     continue
+                if not math.isnan(self._stalled_at[i]):
+                    self._close_stall(i, now)
                 self._rate[i] = INITIAL_PACKETS * MSS_BITS / rtts[c]
             live.append(i)
             sums[c] += self._rate[i]
@@ -480,6 +552,12 @@ class FluidBackground:
             return int(self._done.sum())
         return sum(self._done)
 
+    def stalled_count(self) -> int:
+        """Tenants currently stalled (no live channel assigned)."""
+        if self.backend == "numpy":
+            return int(_np.count_nonzero(~_np.isnan(self._stalled_at)))
+        return sum(1 for s in self._stalled_at if not math.isnan(s))
+
     def fct_samples(self) -> List[float]:
         """Completion times of finished tenants, in tenant order."""
         if self.backend == "numpy":
@@ -505,6 +583,15 @@ class FluidBackground:
             "bytes_by_cca": {k: round(v, 3) for k, v in self.bytes_by_cca.items()},
             "bytes_by_class": {k: round(v, 3) for k, v in self.bytes_by_class.items()},
             "bytes_by_channel": [round(v, 3) for v in self.bytes_by_channel],
+            "stalls": {
+                "events": self.stall_events,
+                "time_total_s": round(self.stall_time_total, 6),
+                "events_by_class": dict(self.stall_events_by_class),
+                "time_by_class_s": {
+                    k: round(v, 6) for k, v in self.stall_time_by_class.items()
+                },
+                "stalled_at_end": self.stalled_count(),
+            },
         }
 
     def digest(self) -> str:
@@ -519,7 +606,8 @@ class FluidBackground:
             h.update(
                 (
                     f"{i}:{self._remaining[i]:.6f}:{self._rate[i]:.6f}:"
-                    f"{int(self._done[i])}:{self._fct[i]:.9f};"
+                    f"{int(self._done[i])}:{self._fct[i]:.9f}:"
+                    f"{int(not math.isnan(self._stalled_at[i]))};"
                 ).encode()
             )
         return h.hexdigest()

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.api import HvcNetwork
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.fleet.fluid import FluidBackground
 from repro.fleet.hybrid import fleet_channel_specs, percentile
 from repro.fleet.tenants import PopulationSpec, TenantPopulation
@@ -55,17 +57,28 @@ class ValidationTolerance:
     min_completion: float = 0.9
 
 
+def _arm_faults(net: HvcNetwork, fault_rows) -> int:
+    """Arm an identical fault schedule against either engine's network."""
+    if not fault_rows:
+        return 0
+    schedule = FaultSchedule.from_params(fault_rows)
+    FaultInjector(net, schedule).arm()
+    return len(schedule)
+
+
 def _run_full(
     population: TenantPopulation,
     preset: str,
     duration: float,
     seed: int,
     monitor_period: float,
+    fault_rows=None,
 ) -> Dict:
     """Every tenant as a real packet-level connection."""
     specs = fleet_channel_specs(preset)
     steerer = RequirementPinnedSteerer()
     net = HvcNetwork(specs, steering=steerer, seed=seed)
+    _arm_faults(net, fault_rows)
     monitor = ChannelMonitor(net.sim, net.channels, period=monitor_period)
     fcts: List[Optional[float]] = [None] * len(population)
 
@@ -98,6 +111,8 @@ def _run_full(
             name: series.utilization("up") for name, series in monitor.series.items()
         },
         "events": net.sim.events_processed,
+        "outages": sum(ch.outage_count for ch in net.channels),
+        "downtime_s": sum(ch.downtime_total for ch in net.channels),
     }
 
 
@@ -109,10 +124,12 @@ def _run_hybrid(
     monitor_period: float,
     tick: float,
     use_numpy: Optional[bool] = None,
+    fault_rows=None,
 ) -> Dict:
     """Every tenant as a fluid flow (pure background, no foreground)."""
     specs = fleet_channel_specs(preset)
     net = HvcNetwork(specs, seed=seed)
+    _arm_faults(net, fault_rows)
     monitor = ChannelMonitor(net.sim, net.channels, period=monitor_period)
     fluid = FluidBackground(
         net.sim,
@@ -136,6 +153,9 @@ def _run_hybrid(
         },
         "events": net.sim.events_processed,
         "backend": fluid.backend,
+        "outages": sum(ch.outage_count for ch in net.channels),
+        "downtime_s": sum(ch.downtime_total for ch in net.channels),
+        "stalls": fluid.results()["stalls"],
     }
 
 
@@ -148,8 +168,16 @@ def run_equivalence_case(
     mean_size: float = 6000.0,
     monitor_period: float = 0.25,
     use_numpy: Optional[bool] = None,
+    fault_rows=None,
 ) -> Dict:
-    """Run one population through both engines and report the deltas."""
+    """Run one population through both engines and report the deltas.
+
+    ``fault_rows`` (primitive :meth:`FaultSchedule.to_params` rows) arms
+    the *same* disruption against both engines, extending the gate to
+    outage cases: the packet engine re-pins stalled flows through the
+    requirement steerer while the fluid engine re-steers stalled tenants,
+    and the two must still agree distributionally.
+    """
     if flows > 100:
         raise ValueError(
             f"equivalence cases are defined for <=100 flows, got {flows} "
@@ -159,9 +187,10 @@ def run_equivalence_case(
         tenants=flows, duration=duration, seed=seed, mean_size=mean_size
     )
     population = TenantPopulation.generate(spec)
-    full = _run_full(population, preset, duration, seed, monitor_period)
+    full = _run_full(population, preset, duration, seed, monitor_period, fault_rows)
     hybrid = _run_hybrid(
-        population, preset, duration, seed, monitor_period, tick, use_numpy
+        population, preset, duration, seed, monitor_period, tick, use_numpy,
+        fault_rows,
     )
     deltas = {
         "fct_p50_rel": _relative(

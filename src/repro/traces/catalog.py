@@ -11,6 +11,8 @@ from repro.traces.synthetic import (
     lowband_stationary,
     mmwave_driving,
     mmwave_stationary,
+    starlink_leo,
+    wifi_5g_handoff,
 )
 from repro.units import mbps, ms
 
@@ -25,6 +27,8 @@ _CATALOG: Dict[str, Callable[..., NetworkTrace]] = {
     "5g-lowband-driving": lowband_driving,
     "5g-mmwave-stationary": mmwave_stationary,
     "5g-mmwave-driving": mmwave_driving,
+    "starlink-leo": starlink_leo,
+    "wifi-5g-handoff": wifi_5g_handoff,
     "urllc": _urllc,
 }
 

@@ -155,6 +155,118 @@ def mmwave_stationary(seed: int = 3, duration: float = 120.0) -> NetworkTrace:
     return generate_trace(spec, seed)
 
 
+def starlink_leo(
+    seed: int = 5,
+    duration: float = 120.0,
+    handoff_period: float = 15.0,
+    handoff_phase: float = 4.0,
+    outage_mean: float = 0.3,
+    dt: float = 0.1,
+) -> NetworkTrace:
+    """Starlink-like LEO access: periodic handoff micro-outages, high jitter.
+
+    LEO constellations reschedule the serving satellite on a fixed cadence
+    (~15 s for Starlink); each handoff is a short *dead* interval — the
+    trace rate drops to exactly 0 for a few hundred milliseconds — followed
+    by a rate step as the new satellite's link budget differs from the old.
+    Between handoffs the rate is high but jittery (beam scheduling) and the
+    one-way delay wanders with path length. The dead intervals are real
+    zeros, not merely low rates, so :meth:`FaultSchedule.from_trace`
+    recovers them exactly as outage faults.
+
+    ``handoff_phase`` places the first handoff early enough that even a
+    short (quick-mode) run meets at least one disruption.
+    """
+    if duration <= 0 or dt <= 0 or dt >= duration:
+        raise TraceError("duration and dt must be positive with dt < duration")
+    if handoff_period <= 0 or handoff_phase < 0:
+        raise TraceError("handoff_period must be positive, handoff_phase >= 0")
+    rng = random.Random(seed)
+    steps = int(round(duration / dt))
+    times, rates, delays = [], [], []
+    # Handoff instants, snapped to the sample grid so dead intervals are
+    # exact sample runs (what from_trace recovers).
+    next_handoff = handoff_phase
+    outage_left = 0
+    rate_level = mbps(140)
+    delay_level = ms(28)
+    for i in range(steps):
+        t = i * dt
+        if outage_left == 0 and next_handoff <= t:
+            # Enter a micro-outage: 1..n dead samples (~outage_mean s).
+            outage_left = max(1, int(round(rng.expovariate(1.0 / outage_mean) / dt)))
+            outage_left = min(outage_left, max(1, int(1.2 / dt)))
+            next_handoff += handoff_period
+            # The new satellite: a fresh link budget and path length.
+            rate_level = mbps(140) * rng.lognormvariate(0.0, 0.25)
+            delay_level = ms(28) + rng.gauss(0.0, ms(4))
+        times.append(round(t, 9))
+        if outage_left > 0:
+            outage_left -= 1
+            rates.append(0.0)
+            delays.append(max(ms(1), delay_level))
+            continue
+        # High jitter between handoffs: beam scheduling + queue wander.
+        rates.append(max(mbps(1), rate_level * rng.lognormvariate(0.0, 0.2)))
+        delays.append(max(ms(2), delay_level + rng.gauss(0.0, ms(6))))
+    return NetworkTrace(times, rates, delays, name="starlink-leo")
+
+
+def wifi_5g_handoff(
+    seed: int = 6,
+    duration: float = 120.0,
+    dwell_mean: float = 8.0,
+    gap_mean: float = 0.15,
+    dt: float = 0.05,
+) -> NetworkTrace:
+    """A device oscillating between Wi-Fi and 5G coverage.
+
+    Two regimes — Wi-Fi (fat, ~6 ms one-way) and 5G lowband (thinner,
+    ~18 ms one-way) — with exponential dwell times. Every switch passes
+    through a short *dead* gap (association + path migration) during which
+    the rate is exactly 0, and the first seconds on the new radio carry a
+    delay spike while queues re-home. Dead gaps are exact zero-rate sample
+    runs, so the trace doubles as a fault campaign via
+    :meth:`FaultSchedule.from_trace`.
+    """
+    if duration <= 0 or dt <= 0 or dt >= duration:
+        raise TraceError("duration and dt must be positive with dt < duration")
+    if dwell_mean <= 0 or gap_mean <= 0:
+        raise TraceError("dwell_mean and gap_mean must be positive")
+    rng = random.Random(seed)
+    steps = int(round(duration / dt))
+    times, rates, delays = [], [], []
+    on_wifi = True
+    # First handoff lands early (a fraction of one dwell) so short runs
+    # still see a disruption.
+    switch_at = 0.4 * dwell_mean
+    gap_left = 0
+    spike_left = 0
+    for i in range(steps):
+        t = i * dt
+        if gap_left == 0 and switch_at <= t:
+            gap_left = max(1, int(round(rng.expovariate(1.0 / gap_mean) / dt)))
+            gap_left = min(gap_left, max(1, int(0.8 / dt)))
+            on_wifi = not on_wifi
+            switch_at = t + rng.expovariate(1.0 / dwell_mean)
+            # Post-handoff delay inflation (~1 s) while queues re-home.
+            spike_left = int(round(1.0 / dt))
+        times.append(round(t, 9))
+        if gap_left > 0:
+            gap_left -= 1
+            rates.append(0.0)
+            delays.append(ms(30))
+            continue
+        base_rate = mbps(280) if on_wifi else mbps(70)
+        base_delay = ms(6) if on_wifi else ms(18)
+        if spike_left > 0:
+            spike_left -= 1
+            base_delay += ms(45)
+        rates.append(max(mbps(2), base_rate * rng.lognormvariate(0.0, 0.12)))
+        delays.append(max(ms(1), base_delay + rng.gauss(0.0, ms(1.5))))
+    return NetworkTrace(times, rates, delays, name="wifi-5g-handoff")
+
+
 def mmwave_driving(seed: int = 2, duration: float = 120.0) -> NetworkTrace:
     """5G mmWave eMBB, driving UE: blockage outages lasting seconds.
 

@@ -257,7 +257,9 @@ class TestBenchRunQuick:
 
 class TestWorkloadRegistry:
     def test_all_workloads_registered(self):
-        assert set(WORKLOADS) == {"kernel", "cancel", "fig1a", "fleet", "cc_matrix"}
+        assert set(WORKLOADS) == {
+            "kernel", "cancel", "fig1a", "fleet", "cc_matrix", "resilience",
+        }
 
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):

@@ -57,6 +57,38 @@ class TestScenarioGeneration:
         with pytest.raises(ScenarioError):
             random_scenario(random.Random(0), 0, seed_bug="nonexistent-bug")
 
+    def test_some_scenarios_derive_faults_from_traces(self):
+        from repro.check.chaos import TRACE_FAULT_SOURCES
+
+        rng = random.Random(11)
+        drawn = [random_scenario(rng, index=i) for i in range(60)]
+        sources = {scn["fault_source"] for scn in drawn}
+        assert "random" in sources
+        assert sources & set(TRACE_FAULT_SOURCES)
+        for scn in drawn:
+            if scn["fault_source"] == "random":
+                continue
+            # Derived rows target a channel that exists in the preset and
+            # carry at least one fault (both presets disrupt within 6 s).
+            assert scn["fault_rows"]
+            channels = set(PRESET_CHANNELS[scn["channels"]])
+            assert {row[1] for row in scn["fault_rows"]} <= channels
+
+    def test_trace_derived_scenario_runs_clean_and_replays_from_rows(self):
+        from repro.check.chaos import TRACE_FAULT_SOURCES
+
+        rng = random.Random(11)
+        drawn = next(
+            scn for scn in (random_scenario(rng, index=i) for i in range(60))
+            if scn["fault_source"] in TRACE_FAULT_SOURCES
+        )
+        result = run_scenario(drawn)
+        assert result["ok"] and result["faults"] == len(drawn["fault_rows"])
+        # Bundles replay from the stored rows alone: mutating fault_source
+        # must not change execution (no re-derivation happens at run time).
+        relabeled = dict(drawn, fault_source="random")
+        assert run_scenario(relabeled)["checks"] == result["checks"]
+
 
 class TestCampaign:
     def test_single_scenario_runs_clean(self):

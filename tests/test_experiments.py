@@ -27,6 +27,7 @@ class TestRegistry:
             "cc-matrix",
             "ablate",
             "faults",
+            "resilience",
             "fleet",
             "sweep-urllc-bw",
             "sweep-threshold",

@@ -1,0 +1,146 @@
+"""Property tests for recovery-time math and downtime reconciliation.
+
+Three families, per the resilience subsystem's contract:
+
+* ``recovery_percentile`` is a true percentile — bounded by min/max,
+  monotone in q, exact at the endpoints;
+* ``RecoveryTracker.recovery_samples`` are non-negative and stall-ordered
+  (per flow, outage-end times never run backwards);
+* ``Channel.downtime_total`` equals the measure of the *union* of fault
+  holds, however the drawn outages overlap (reference counting is what
+  makes this identity hold), and the tracker's summary reports exactly
+  that number.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import HvcNetwork
+from repro.faults import FaultInjector, FaultSchedule, RecoveryTracker
+from repro.faults.recovery import recovery_percentile
+from repro.errors import ScenarioError
+from repro.net.hvc import fixed_embb_spec, urllc_spec
+
+SIM_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestRecoveryPercentile:
+    @given(samples_strategy)
+    def test_bounded_and_endpoint_exact(self, samples):
+        assert recovery_percentile(samples, 0.0) == min(samples)
+        assert recovery_percentile(samples, 100.0) == max(samples)
+        for q in (10.0, 50.0, 99.0):
+            value = recovery_percentile(samples, q)
+            assert min(samples) <= value <= max(samples)
+
+    @given(samples_strategy, st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_monotone_in_q(self, samples, q1, q2):
+        lo, hi = sorted((q1, q2))
+        assert recovery_percentile(samples, lo) <= recovery_percentile(samples, hi) + 1e-12
+
+    def test_empty_is_zero_and_bad_q_rejected(self):
+        assert recovery_percentile([], 50.0) == 0.0
+        with pytest.raises(ScenarioError):
+            recovery_percentile([1.0], 101.0)
+
+
+def intervals_strategy(max_end=6.0):
+    """Possibly-overlapping (start, duration) outage intervals."""
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=max_end - 1.0),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+
+def union_measure(intervals):
+    """Total length of the union of (start, end) intervals."""
+    spans = sorted((s, s + d) for s, d in intervals)
+    total = 0.0
+    cur_start, cur_end = spans[0]
+    for s, e in spans[1:]:
+        if s > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = s, e
+        else:
+            cur_end = max(cur_end, e)
+    return total + (cur_end - cur_start)
+
+
+class TestDowntimeReconciliation:
+    @SIM_SETTINGS
+    @given(intervals_strategy(), intervals_strategy())
+    def test_downtime_equals_union_of_overlapping_holds(self, embb_iv, urllc_iv):
+        net = HvcNetwork([fixed_embb_spec(), urllc_spec()], seed=1)
+        tracker = RecoveryTracker(net)
+        schedule = FaultSchedule()
+        for start, duration in embb_iv:
+            schedule.outage("embb", start, duration)
+        for start, duration in urllc_iv:
+            schedule.outage("urllc", start, duration)
+        FaultInjector(net, schedule).arm()
+        net.run(until=schedule.horizon + 0.5)
+
+        expected = {"embb": union_measure(embb_iv), "urllc": union_measure(urllc_iv)}
+        for channel in net.channels:
+            assert channel.fault_holds == 0
+            assert channel.up
+            assert math.isclose(
+                channel.downtime_total, expected[channel.name],
+                rel_tol=1e-9, abs_tol=1e-9,
+            )
+        summary = tracker.summary()
+        assert math.isclose(
+            summary["downtime_s"], sum(expected.values()),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+        assert summary["outages"] == sum(
+            channel.outage_count for channel in net.channels
+        )
+
+    @SIM_SETTINGS
+    @given(intervals_strategy(max_end=4.0), st.sampled_from(["cubic", "bbr"]))
+    def test_recovery_samples_nonnegative_and_stall_ordered(self, intervals, cc):
+        from repro.apps.bulk import BulkTransfer
+
+        net = HvcNetwork([fixed_embb_spec(), urllc_spec()], steering="single", seed=1)
+        tracker = RecoveryTracker(net)
+        schedule = FaultSchedule()
+        for start, duration in intervals:
+            schedule.outage("embb", start, duration)
+        FaultInjector(net, schedule).arm()
+        BulkTransfer(net, cc=cc, total_bytes=10_000_000)
+        net.run(until=schedule.horizon + 1.0)
+
+        last_end = {}
+        for flow, outage_end, elapsed in tracker.recovery_samples:
+            assert elapsed >= 0.0
+            assert outage_end >= 0.0
+            # Stall-ordered per flow: intervals close in the order the
+            # outages that opened them ended.
+            assert outage_end >= last_end.get(flow, 0.0)
+            last_end[flow] = outage_end
+        summary = tracker.summary()
+        recoveries = [s[2] for s in tracker.recovery_samples]
+        assert summary["recovery_p50_s"] <= summary["recovery_p99_s"] + 1e-12
+        assert summary["recovery_p99_s"] <= summary["recovery_max_s"] + 1e-12
+        if recoveries:
+            assert summary["recovery_p50_s"] == round(
+                recovery_percentile(recoveries, 50.0), 9
+            )

@@ -276,3 +276,33 @@ class TestEquivalenceGate:
         for key in ("fct_p50_rel", "fct_p90_rel", "fct_p50_abs", "util_abs"):
             assert key in rep["deltas"]
         assert rep["full"]["completed"] == rep["full"]["tenants"] == 30
+
+    def test_outage_case_applies_faults_to_both_engines(self):
+        from repro.faults import FaultSchedule
+        from repro.fleet.validation import check_equivalence
+
+        rows = FaultSchedule().outage("embb", 2.0, 1.0).to_params()
+        rep = run_equivalence_case(
+            flows=30, duration=8.0, seed=0, fault_rows=rows
+        )
+        # Both engines lived through the same outage...
+        assert rep["full"]["outages"] == rep["hybrid"]["outages"] == 1
+        assert rep["full"]["downtime_s"] == pytest.approx(1.0)
+        assert rep["hybrid"]["downtime_s"] == pytest.approx(1.0)
+        # ...the fluid side accounted stalls for re-steered tenants...
+        assert rep["hybrid"]["stalls"]["stalled_at_end"] == 0
+        # ...and the gate still evaluates (violations are a judgement
+        # call under faults; the report must at least be complete).
+        assert isinstance(check_equivalence(rep), list)
+
+    def test_outage_case_still_within_tolerance(self):
+        from repro.faults import FaultSchedule
+        from repro.fleet.validation import check_equivalence
+
+        # A short outage early in the run: both engines re-steer onto the
+        # surviving channel and must still agree distributionally.
+        rows = FaultSchedule().outage("embb", 1.0, 0.5).to_params()
+        rep = run_equivalence_case(
+            flows=40, duration=10.0, seed=1, fault_rows=rows
+        )
+        assert check_equivalence(rep) == []

@@ -12,6 +12,8 @@ from repro.traces.synthetic import (
     lowband_driving,
     lowband_stationary,
     mmwave_driving,
+    starlink_leo,
+    wifi_5g_handoff,
 )
 from repro.units import mbps, ms, to_ms
 
@@ -120,11 +122,50 @@ class TestSyntheticCalibration:
             generate_trace(TraceSpec(name="bad", dt=200.0))
 
 
+class TestDisruptionPresets:
+    """The handoff-driven presets must actually contain dead intervals."""
+
+    def test_starlink_periodic_handoffs_are_dead(self):
+        trace = starlink_leo(duration=60.0)
+        from repro.resilience import dead_intervals
+
+        dead = dead_intervals(trace)
+        # One micro-outage per 15 s handoff period, first at t=4.
+        assert 3 <= len(dead) <= 5
+        assert dead[0].start == pytest.approx(4.0)
+        for interval in dead:
+            assert 0.05 <= interval.duration <= 1.3
+        assert trace.mean_rate() > mbps(80)
+
+    def test_starlink_determinism_and_param_validation(self):
+        a = starlink_leo(seed=7, duration=40.0)
+        b = starlink_leo(seed=7, duration=40.0)
+        assert a.rates_bps == b.rates_bps and a.delays == b.delays
+        with pytest.raises(TraceError):
+            starlink_leo(duration=0)
+        with pytest.raises(TraceError):
+            starlink_leo(handoff_period=-1.0)
+
+    def test_wifi_5g_alternates_rate_regimes_with_gaps(self):
+        trace = wifi_5g_handoff(duration=60.0)
+        rates = trace.rates_bps
+        assert 0.0 in rates  # dead switching gaps
+        # Bimodal: fat Wi-Fi samples and thin 5G samples both present.
+        assert any(r > mbps(180) for r in rates)
+        assert any(0 < r < mbps(110) for r in rates)
+        # Post-handoff delay spikes exist: some samples well above 5G floor.
+        assert max(trace.delays) > ms(40)
+        with pytest.raises(TraceError):
+            wifi_5g_handoff(dwell_mean=0)
+
+
 class TestCatalog:
     def test_catalog_names(self):
         names = list_traces()
         assert "5g-lowband-driving" in names
         assert "urllc" in names
+        assert "starlink-leo" in names
+        assert "wifi-5g-handoff" in names
 
     def test_get_trace_by_name(self):
         trace = get_trace("urllc")
@@ -139,6 +180,11 @@ class TestCatalog:
         assert get_trace("5g-lowband-driving", seed=5).rates_bps != get_trace(
             "5g-lowband-driving", seed=6
         ).rates_bps
+
+    def test_disruption_presets_resolve_with_duration(self):
+        trace = get_trace("starlink-leo", duration=30.0)
+        assert trace.duration == pytest.approx(30.0)
+        assert get_trace("wifi-5g-handoff", duration=20.0).duration == pytest.approx(20.0)
 
 
 class TestMahimahi:

@@ -12,10 +12,26 @@ class TestTraceCli:
         assert "5g-lowband-driving" in out
         assert "urllc" in out
 
+    def test_list_includes_disruption_presets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "starlink-leo" in out
+        assert "wifi-5g-handoff" in out
+
     def test_show(self, capsys):
         assert main(["show", "5g-lowband-driving", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "Mbps" in out and "p98" in out
+
+    def test_show_starlink(self, capsys):
+        assert main(["show", "starlink-leo"]) == 0
+        out = capsys.readouterr().out
+        assert "Mbps" in out
+
+    def test_export_disruption_preset(self, tmp_path, capsys):
+        path = tmp_path / "wifi.trace"
+        assert main(["export", "wifi-5g-handoff", str(path), "--duration", "10"]) == 0
+        assert path.exists()
 
     def test_export_then_import_round_trip(self, tmp_path, capsys):
         path = tmp_path / "urllc.trace"
